@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These are conventional timing benchmarks (multiple rounds) rather than
+table regenerations: simulator throughput, feature extraction, forest
+training, DTW, and blind DCI decoding — the knobs that decide how much
+capture an attacker can process per unit compute (§VII-D).
+"""
+
+import random
+
+import numpy as np
+
+from repro.core.dataset import collect_trace
+from repro.core.features import extract_features
+from repro.lte.dci import DCIFormat, DCIMessage
+from repro.ml.dtw import dtw_distance
+from repro.ml.forest import RandomForest
+from repro.operators import LAB
+
+
+def test_simulate_one_trace(benchmark):
+    """Simulate + sniff a 20 s YouTube session."""
+    counter = iter(range(10_000))
+
+    def run():
+        return collect_trace("YouTube", operator=LAB, duration_s=20.0,
+                             seed=next(counter))
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(trace) > 100
+
+
+def test_feature_extraction_speed(benchmark):
+    trace = collect_trace("YouTube", operator=LAB, duration_s=30.0, seed=1)
+    X = benchmark(extract_features, trace)
+    assert len(X) > 0
+
+
+def test_forest_training_speed(benchmark):
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(3 * k, 1.0, (400, 19)) for k in range(3)])
+    y = np.repeat(np.arange(3), 400)
+
+    def train():
+        return RandomForest(n_trees=10, max_depth=12, seed=1).fit(X, y)
+
+    model = benchmark.pedantic(train, rounds=3, iterations=1)
+    assert model.n_classes_ == 3
+
+
+def test_forest_inference_speed(benchmark):
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(3 * k, 1.0, (400, 19)) for k in range(3)])
+    y = np.repeat(np.arange(3), 400)
+    model = RandomForest(n_trees=20, max_depth=12, seed=1).fit(X, y)
+    predictions = benchmark(model.predict, X)
+    assert len(predictions) == len(X)
+
+
+def test_dtw_speed(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.poisson(20, 120).astype(float)
+    b = rng.poisson(20, 120).astype(float)
+    distance = benchmark(dtw_distance, a, b, 5)
+    assert distance >= 0
+
+
+def test_blind_decode_speed(benchmark):
+    rng = random.Random(2)
+    encoded = [DCIMessage(fmt=DCIFormat.FORMAT_1A,
+                          rnti=rng.randint(0x100, 0xFF00),
+                          mcs=rng.randint(0, 28),
+                          n_prb=rng.randint(1, 100)).encode()
+               for _ in range(500)]
+
+    def decode_all():
+        return [e.blind_decode() for e in encoded]
+
+    decoded = benchmark(decode_all)
+    assert len(decoded) == 500

@@ -1,0 +1,15 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run on a
+fresh clone even before any install step — the offline machines this
+targets cannot always complete ``pip install -e .`` (it needs the
+``wheel`` package); ``python setup.py develop`` is the supported
+editable install.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Build the paper's release artefacts: dataset + trained model.
+
+"In the spirit of open science, we publicly release our lab-created
+dataset, the trained model, and the source code of our attack
+framework" — this script produces the equivalent artefacts from the
+simulated lab: a directory of labelled trace CSVs (safe to share: no
+real users exist) and the trained hierarchical model as JSON.
+
+Run:  python examples/build_release_artifacts.py [output_dir]
+
+Then reload them anywhere:
+
+    from repro.core import load_fingerprinter
+    from repro.sniffer import TraceSet
+    model = load_fingerprinter("artifacts/model.json")
+    dataset = TraceSet.load("artifacts/dataset")
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import app_names
+from repro.core import (HierarchicalFingerprinter, collect_traces,
+                        load_fingerprinter, save_fingerprinter,
+                        windows_from_traces)
+from repro.operators import LAB
+
+
+def main() -> None:
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "artifacts")
+    dataset_dir = out / "dataset"
+    model_path = out / "model.json"
+    manifest_path = out / "MANIFEST.json"
+
+    print(f"building the release dataset under {dataset_dir}/ ...")
+    traces = collect_traces(list(app_names()), operator=LAB,
+                            traces_per_app=3, duration_s=30.0, seed=42)
+    traces.save(dataset_dir)
+    total_records = sum(len(t) for t in traces)
+    print(f"  {len(traces)} traces, {total_records} DCI records")
+
+    print("training the release model...")
+    windows = windows_from_traces(traces)
+    model = HierarchicalFingerprinter(n_trees=40, seed=1)
+    model.fit(windows)
+    save_fingerprinter(model, model_path)
+    print(f"  saved to {model_path} "
+          f"({model_path.stat().st_size // 1024} KiB)")
+
+    manifest = {
+        "paper": "Targeted Privacy Attacks by Fingerprinting Mobile "
+                 "Apps in LTE Radio Layer (DSN 2023)",
+        "environment": "Lab (simulated; no real-user data)",
+        "apps": list(app_names()),
+        "traces": len(traces),
+        "records": total_records,
+        "window_ms": 100.0,
+        "model": "hierarchical Random Forest (40 trees, seed 1)",
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    print(f"  manifest at {manifest_path}")
+
+    # Round-trip check: the released model classifies the released data.
+    reloaded = load_fingerprinter(model_path)
+    verdict = reloaded.classify_trace(traces.traces[0])
+    truth = traces.traces[0].label
+    print(f"\nself-check: released model says {verdict.app!r} "
+          f"for a {truth!r} trace "
+          f"({'OK' if verdict.app == truth else 'MISMATCH'})")
+
+
+if __name__ == "__main__":
+    main()

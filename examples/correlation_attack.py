@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Correlation attack demo: who is talking to whom?
+
+Four users in a cell are on WhatsApp calls.  Alice is actually talking
+to Bob; Carol and Dave are each talking to somebody outside the cell.
+The attacker captures everyone's radio metadata, computes pairwise DTW
+similarities, and lets the trained logistic model point at the real
+pair.
+
+Run:  python examples/correlation_attack.py
+"""
+
+from itertools import combinations
+
+from repro.core import CorrelationAttack, collect_pair
+from repro.operators import LAB
+
+
+def main() -> None:
+    app, kind = "WhatsApp Call", "call"
+
+    # Training data for the communicating/not-communicating verdict.
+    print("training the correlation verdict model...")
+    positives = [collect_pair(app, kind, operator=LAB, duration_s=30.0,
+                              seed=100 + i) for i in range(4)]
+    negatives = []
+    for i in range(4):
+        left, _ = collect_pair(app, kind, operator=LAB, duration_s=30.0,
+                               seed=300 + i)
+        right, _ = collect_pair(app, kind, operator=LAB, duration_s=30.0,
+                                seed=400 + i)
+        negatives.append((left, right))
+    attack = CorrelationAttack(bin_s=1.0)
+    attack.fit(positives, negatives)
+
+    # The scene: Alice<->Bob are one call; Carol and Dave call others.
+    print("capturing the cell: Alice, Bob, Carol, Dave on WhatsApp "
+          "calls...")
+    alice, bob = collect_pair(app, kind, operator=LAB, duration_s=30.0,
+                              seed=777)
+    carol, _ = collect_pair(app, kind, operator=LAB, duration_s=30.0,
+                            seed=888)
+    dave, _ = collect_pair(app, kind, operator=LAB, duration_s=30.0,
+                           seed=999)
+    users = {"Alice": alice, "Bob": bob, "Carol": carol, "Dave": dave}
+
+    print("\npairwise analysis:")
+    best_pair, best_score = None, -1.0
+    for (name_a, trace_a), (name_b, trace_b) in combinations(
+            users.items(), 2):
+        similarity = attack.similarity(trace_a, trace_b)
+        verdict = attack.predict_pairs([(trace_a, trace_b)])[0]
+        score = attack.decision_scores([(trace_a, trace_b)])[0]
+        flag = "COMMUNICATING" if verdict else "-"
+        print(f"  {name_a:6s} x {name_b:6s}  similarity {similarity:.3f}  "
+              f"P(call) {score:.2f}  {flag}")
+        if score > best_score:
+            best_pair, best_score = (name_a, name_b), score
+    print(f"\nattacker's conclusion: {best_pair[0]} is talking to "
+          f"{best_pair[1]} (truth: Alice-Bob)")
+
+
+if __name__ == "__main__":
+    main()

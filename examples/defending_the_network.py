@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Defending the network: what actually stops this attack?
+
+The paper proposes countermeasures (§VIII-B) but does not measure them;
+this demo does.  An attacker trains a fingerprinting model on an
+undefended cell, then the operator progressively deploys defences —
+RNTI refresh, grant padding, chaff — and we watch the attack (and the
+airtime bill) respond.  Finally, the 5G upgrade path (§VIII-C): SUCI
+concealment ends passive identity tracking outright.
+
+Run:  python examples/defending_the_network.py
+"""
+
+from repro.experiments.countermeasures import DEFENCES, run
+from repro.fiveg import NRRegistrationRequest, add_nr_cell
+from repro.lte import LTENetwork
+from repro.sniffer import CellSniffer
+
+
+def evaluate_lte_defences() -> None:
+    print("evaluating §VIII-B defences against a trained attacker...")
+    result = run("fast", seed=131)
+    print()
+    print(result.table())
+    combined = result.outcome("combined")
+    print(f"\n-> the combined defence cuts the attack to "
+          f"F={combined.f_score:.2f} while burning "
+          f"{combined.overhead:.0%} of the airtime "
+          f"(the paper's 'high performance overhead' caveat, measured)")
+    assert len(DEFENCES) == 5
+
+
+def show_5g_identity_protection() -> None:
+    print("\n5G upgrade path: SUCI concealment (§VIII-C)")
+    network = LTENetwork(seed=7)
+    add_nr_cell(network, "nr-cell")
+    victim = network.add_ue(name="victim")
+    sniffer = CellSniffer("nr-cell").attach(network)
+    sucis = []
+    network.observe("nr-cell",
+                    control=lambda m: sucis.append(m.suci)
+                    if isinstance(m, NRRegistrationRequest) else None)
+    # Three separate data bursts, far enough apart that the RRC
+    # inactivity timer fires in between -> three NR registrations.
+    from repro.lte import Direction
+    for start in (0.0, 25.0, 50.0):
+        network.clock.schedule(
+            int(start * 1_000_000) + 1,
+            lambda: network.deliver_traffic(victim, Direction.UPLINK,
+                                            40_000))
+    network.run_for(65.0)
+    print(f"  registrations observed: {len(sucis)}")
+    for suci in sucis:
+        print(f"    {suci}")
+    print(f"  distinct concealments: {len({s.ciphertext for s in sucis})}"
+          f" (nothing links them)")
+    print(f"  passive identity mappings learned: "
+          f"{sniffer.mapper.mappings_learned}")
+    print(f"  ...yet the radio metadata itself is still there: "
+          f"{sniffer.total_records} DCIs decoded — fingerprinting "
+          f"survives, tracking does not.")
+
+
+def main() -> None:
+    evaluate_lte_defences()
+    show_5g_identity_protection()
+
+
+if __name__ == "__main__":
+    main()

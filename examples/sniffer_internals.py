@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""A guided tour of the passive sniffer's internals.
+
+Shows the low-level mechanics the attack is built from, one layer at a
+time: the RNTI-masked CRC on raw DCI bits, blind RNTI recovery, OWL's
+confirm/expire tracking, and the Msg3/Msg4 identity mapping that pins a
+churning RNTI to a stable TMSI.
+
+Run:  python examples/sniffer_internals.py
+"""
+
+from repro.apps import make_app
+from repro.lte import (DCIFormat, DCIMessage, Direction, LTENetwork,
+                       unmask_rnti)
+from repro.sniffer import CellSniffer
+
+
+def demo_crc_masking() -> None:
+    print("== 1. DCI CRC masking (TS 36.212) ==")
+    dci = DCIMessage(fmt=DCIFormat.FORMAT_1A, rnti=0x4B2D, mcs=17, n_prb=12)
+    encoded = dci.encode()
+    print(f"  payload bytes : {encoded.payload.hex()}")
+    print(f"  masked CRC    : {encoded.masked_crc:#06x}")
+    recovered = unmask_rnti(encoded.masked_crc, encoded.payload)
+    print(f"  blind-recovered RNTI: {recovered:#06x} "
+          f"(true: {dci.rnti:#06x})")
+    decoded = encoded.blind_decode()
+    print(f"  decoded grant : MCS {decoded.mcs}, {decoded.n_prb} PRB "
+          f"-> TBS {decoded.tbs_bytes} bytes, "
+          f"{decoded.direction.name.lower()}")
+
+
+def demo_live_sniffing() -> None:
+    print("\n== 2. Live capture: RNTI churn + identity mapping ==")
+    network = LTENetwork(seed=3)
+    network.add_cell("downtown")
+    victim = network.add_ue(name="victim")
+    sniffer = CellSniffer("downtown").attach(network)
+    print(f"  victim TMSI (from EPC attach): {victim.tmsi:#010x}")
+
+    # A chatty app session: the RRC inactivity timer will churn RNTIs.
+    network.start_app_session(victim, make_app("Telegram"),
+                              duration_s=120.0, session_seed=11)
+    network.run_for(130.0)
+
+    rntis = sniffer.mapper.all_rntis_for_tmsi(victim.tmsi)
+    print(f"  RNTIs the victim burned through: "
+          f"{[hex(r) for r in rntis]}")
+    print(f"  identity mappings learned passively: "
+          f"{sniffer.mapper.mappings_learned} "
+          f"(one per RRC reconnect)")
+    merged = sniffer.trace_for_tmsi(victim.tmsi)
+    print(f"  merged per-user trace: {len(merged)} DCI records, "
+          f"{merged.total_bytes} bytes over {merged.duration_s:.0f}s")
+    print(f"  OWL tracker history: "
+          f"{len(sniffer.tracker.history())} expired RNTI activities")
+    stats = sniffer.decoder.capture_stats
+    print(f"  decoder stats: {stats}")
+
+
+def main() -> None:
+    demo_crc_masking()
+    demo_live_sniffing()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Setuptools entry point.
+
+Kept self-contained (not just a pyproject shim) so that ``pip install
+-e .`` works on offline machines without the ``wheel`` package: absent a
+``[build-system]`` table, pip falls back to the legacy ``setup.py
+develop`` path, which needs nothing beyond setuptools itself.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'Targeted Privacy Attacks by "
+                 "Fingerprinting Mobile Apps in LTE Radio Layer' "
+                 "(DSN 2023)"),
+    license="MIT",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["lte-fingerprint = repro.cli:main"],
+    },
+)

@@ -1,0 +1,21 @@
+"""repro — reproduction of "Targeted Privacy Attacks by Fingerprinting
+Mobile Apps in LTE Radio Layer" (Baek et al., DSN 2023).
+
+The package is organised as:
+
+* :mod:`repro.lte` — the LTE radio-layer substrate (simulated air
+  interface: DCI/PDCCH, RRC, scheduling, handover);
+* :mod:`repro.apps` — stochastic traffic models for the nine studied
+  apps plus background noise;
+* :mod:`repro.sniffer` — the attacker's passive capture stack (DCI
+  decoding, OWL-style RNTI tracking, identity mapping, traces);
+* :mod:`repro.ml` — the from-scratch ML stack (Random Forest, kNN,
+  logistic regression, CNN, DTW, metrics, cross-validation);
+* :mod:`repro.core` — the paper's contribution: feature extraction,
+  the hierarchical fingerprinting classifier, and the three attacks
+  (fingerprinting, history, correlation) plus the attacker cost model;
+* :mod:`repro.operators` — lab and carrier environment profiles;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Application traffic models for the nine studied apps plus noise.
+
+See :mod:`repro.apps.catalog` for the registry and
+:mod:`repro.apps.paired` for conversation pairs used by the
+correlation attack.
+"""
+
+from .background import BackgroundApp, BackgroundMix, background_pool
+from .base import AppCategory, AppSpec, AppTrafficModel, drift_params
+from .catalog import (APP_CATEGORIES, APP_REGISTRY, app_names,
+                      apps_in_category, category_of, make_app)
+from .messaging import FacebookMessenger, Telegram, WhatsApp
+from .paired import MirroredChat, make_chat_pair
+from .streaming import AmazonPrime, Netflix, YouTube
+from .voip import FacebookCall, Skype, WhatsAppCall, make_call_pair
+
+__all__ = [
+    "APP_CATEGORIES", "APP_REGISTRY", "AmazonPrime", "AppCategory",
+    "AppSpec", "AppTrafficModel", "BackgroundApp", "BackgroundMix",
+    "FacebookCall", "FacebookMessenger", "MirroredChat", "Netflix", "Skype",
+    "Telegram", "WhatsApp", "WhatsAppCall", "YouTube", "app_names",
+    "apps_in_category", "background_pool", "category_of", "drift_params",
+    "make_app", "make_call_pair", "make_chat_pair",
+]

@@ -1,0 +1,128 @@
+"""Background / noise traffic models (§VIII-A "Impacts of noise traffic").
+
+The paper measures how fingerprinting degrades when the victim UE runs
+5–10 other apps alongside the target app, "chosen randomly from the
+Google store's top 10 free apps".  We model a pool of generic
+background behaviours — push notifications, feed refreshes, ad/telemetry
+beacons, email sync, map tile fetches — each a sparse bursty source.
+``BackgroundMix`` composes several of them into a single event stream
+that can be layered onto the same UE as the target app.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..lte.dci import Direction
+from ..lte.network import TrafficEvent
+from ..lte.sim import seconds
+from .base import AppCategory, AppSpec, AppTrafficModel, positive_gauss
+
+
+@dataclass(frozen=True)
+class BackgroundParams:
+    """A generic sparse background source."""
+
+    interval_s: float       # mean gap between bursts
+    interval_spread: float  # relative spread of the gap
+    burst_bytes: float      # mean burst size
+    burst_spread: float     # relative std-dev of burst size
+    uplink_prob: float      # fraction of bursts that are uplink
+
+
+class BackgroundApp(AppTrafficModel):
+    """One background behaviour (notifications, telemetry, sync, ...)."""
+
+    def __init__(self, name: str, params: BackgroundParams,
+                 day: int = 0) -> None:
+        super().__init__(AppSpec(name, AppCategory.MESSAGING), params, day=day)
+
+    def _generate(self, rng: random.Random) -> Iterator[TrafficEvent]:
+        params = self.params
+        while True:
+            gap = positive_gauss(rng, params.interval_s,
+                                 params.interval_s * params.interval_spread,
+                                 floor=0.1)
+            size = int(positive_gauss(rng, params.burst_bytes,
+                                      params.burst_bytes * params.burst_spread,
+                                      floor=64.0))
+            direction = (Direction.UPLINK if rng.random() < params.uplink_prob
+                         else Direction.DOWNLINK)
+            yield TrafficEvent(gap_us=seconds(gap), direction=direction,
+                               size_bytes=size)
+
+    def on_day(self, day: int) -> "BackgroundApp":
+        return BackgroundApp(self.spec.name, self.params, day=day)
+
+
+#: The stand-in pool for "the Google store's top 10 free apps".
+BACKGROUND_POOL: Sequence[BackgroundParams] = (
+    BackgroundParams(9.0, 0.8, 1_600.0, 0.7, 0.25),     # push notifications
+    BackgroundParams(7.0, 0.6, 520_000.0, 0.8, 0.05),   # social feed refresh
+    BackgroundParams(6.0, 0.5, 3_200.0, 0.6, 0.55),     # ad/telemetry beacons
+    BackgroundParams(14.0, 0.7, 160_000.0, 0.9, 0.15),  # email sync
+    BackgroundParams(8.0, 0.6, 340_000.0, 0.6, 0.08),   # map tiles
+    BackgroundParams(7.5, 0.9, 900.0, 0.5, 0.5),        # IM presence pings
+    BackgroundParams(8.0, 0.5, 950_000.0, 0.7, 0.04),   # short-video prefetch
+    BackgroundParams(16.0, 0.8, 60_000.0, 0.7, 0.35),   # cloud backup trickle
+    BackgroundParams(9.0, 0.7, 5_200.0, 0.6, 0.45),     # game state sync
+    BackgroundParams(10.0, 0.6, 240_000.0, 0.8, 0.10),  # news feed
+)
+
+_POOL_NAMES = ("push", "social-feed", "ads", "email", "maps", "presence",
+               "short-video", "backup", "game-sync", "news")
+
+
+def background_pool(day: int = 0) -> List[BackgroundApp]:
+    """Instantiate the full background pool for a simulated day."""
+    return [BackgroundApp(f"bg-{name}", params, day=day)
+            for name, params in zip(_POOL_NAMES, BACKGROUND_POOL)]
+
+
+class BackgroundMix(AppTrafficModel):
+    """A merge of several background apps into one event stream.
+
+    ``count`` apps are drawn from the pool (the paper runs 5–10) and
+    their independent renewal processes are merged in time order, with
+    each app starting after a staggered 3–4 s delay as in §VIII-A.
+    """
+
+    def __init__(self, count: int = 5, day: int = 0,
+                 seed: Optional[int] = None,
+                 stagger_s: float = 3.5) -> None:
+        if not 1 <= count <= len(BACKGROUND_POOL):
+            raise ValueError(
+                f"count out of [1, {len(BACKGROUND_POOL)}]: {count}")
+        pool = background_pool(day=day)
+        chooser = random.Random(seed if seed is not None else count)
+        self._apps = chooser.sample(pool, count)
+        self._stagger_s = stagger_s
+        super().__init__(AppSpec(f"background-x{count}",
+                                 AppCategory.MESSAGING),
+                         params=None, day=0)
+
+    def _generate(self, rng: random.Random) -> Iterator[TrafficEvent]:
+        # Merge per-app absolute-time streams with a heap.
+        streams = []
+        heap: list = []
+        for order, app in enumerate(self._apps):
+            iterator = app.session(random.Random(rng.getrandbits(64)))
+            start_us = seconds(self._stagger_s) * order
+            first = next(iterator)
+            heapq.heappush(heap, (start_us + first.gap_us, order, first))
+            streams.append(iterator)
+        last_emit_us = 0
+        while heap:
+            at_us, order, event = heapq.heappop(heap)
+            yield TrafficEvent(gap_us=max(0, at_us - last_emit_us),
+                               direction=event.direction,
+                               size_bytes=event.size_bytes)
+            last_emit_us = at_us
+            nxt = next(streams[order])
+            heapq.heappush(heap, (at_us + nxt.gap_us, order, nxt))
+
+    def on_day(self, day: int) -> "BackgroundMix":  # pragma: no cover
+        return BackgroundMix(count=len(self._apps), day=day)

@@ -1,0 +1,71 @@
+"""Registry of the nine studied apps (§IV-A).
+
+"We select nine popular mobile apps from three categories that are
+representative of common mobile activities: streaming, messaging, and
+VoIP" — Netflix, YouTube, Amazon Video; Facebook Messenger, WhatsApp,
+Telegram; Facebook Call, WhatsApp Call, Skype.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from .base import AppCategory, AppTrafficModel
+from .messaging import FacebookMessenger, Telegram, WhatsApp
+from .streaming import AmazonPrime, Netflix, YouTube
+from .voip import FacebookCall, Skype, WhatsAppCall
+
+#: name -> model class, in the paper's Table III order.
+APP_REGISTRY: Dict[str, Type[AppTrafficModel]] = {
+    "Netflix": Netflix,
+    "YouTube": YouTube,
+    "Amazon Prime": AmazonPrime,
+    "Facebook": FacebookMessenger,
+    "WhatsApp": WhatsApp,
+    "Telegram": Telegram,
+    "Facebook Call": FacebookCall,
+    "WhatsApp Call": WhatsAppCall,
+    "Skype": Skype,
+}
+
+#: Category of every registered app.
+APP_CATEGORIES: Dict[str, AppCategory] = {
+    "Netflix": AppCategory.STREAMING,
+    "YouTube": AppCategory.STREAMING,
+    "Amazon Prime": AppCategory.STREAMING,
+    "Facebook": AppCategory.MESSAGING,
+    "WhatsApp": AppCategory.MESSAGING,
+    "Telegram": AppCategory.MESSAGING,
+    "Facebook Call": AppCategory.VOIP,
+    "WhatsApp Call": AppCategory.VOIP,
+    "Skype": AppCategory.VOIP,
+}
+
+
+def app_names() -> Tuple[str, ...]:
+    """All nine app names in canonical (Table III) order."""
+    return tuple(APP_REGISTRY)
+
+
+def apps_in_category(category: AppCategory) -> List[str]:
+    """Names of the three apps in one category, in canonical order."""
+    return [name for name, cat in APP_CATEGORIES.items() if cat is category]
+
+
+def make_app(name: str, day: int = 0) -> AppTrafficModel:
+    """Instantiate a registered app model for a simulated day."""
+    try:
+        factory = APP_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; known: {list(APP_REGISTRY)}") from None
+    return factory(day=day)
+
+
+def category_of(name: str) -> AppCategory:
+    """Category of a registered app."""
+    try:
+        return APP_CATEGORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; known: {list(APP_CATEGORIES)}") from None

@@ -1,0 +1,100 @@
+"""Paired sessions: the two ends of one conversation.
+
+The correlation attack (§III-D, §VII-C) compares traffic captured from
+*two* UEs: "suppose the sender sent a specific amount of data at a
+certain time and the receiver received an equal amount at that time,
+then we can assume they communicated".  These factories produce model
+pairs whose event streams are mirrored — what one UE uplinks, the other
+downlinks a network-latency later — for both messaging chats and VoIP
+calls.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+from ..lte.dci import Direction
+from ..lte.network import TrafficEvent
+from ..lte.sim import seconds
+from .base import AppTrafficModel
+from .voip import make_call_pair
+
+__all__ = ["make_chat_pair", "make_call_pair", "MirroredChat"]
+
+
+class _SharedSchedule:
+    """Lazily materialised common event schedule for a chat pair."""
+
+    def __init__(self, model: AppTrafficModel, seed: int) -> None:
+        self._iterator = model.session(random.Random(seed))
+        self._events: list = []
+
+    def event(self, index: int) -> TrafficEvent:
+        while len(self._events) <= index:
+            self._events.append(next(self._iterator))
+        return self._events[index]
+
+
+class MirroredChat(AppTrafficModel):
+    """One leg of a paired chat session.
+
+    Both legs replay the *same* underlying schedule; the mirrored leg
+    flips directions (your sent message is my received message) and
+    perturbs sizes slightly (per-device TLS/record framing differences),
+    with a small extra first-event latency for server relay time.
+    """
+
+    def __init__(self, base_model: AppTrafficModel, schedule: _SharedSchedule,
+                 mirrored: bool, relay_latency_s: float = 0.25,
+                 relay_jitter_s: float = 0.0) -> None:
+        # Intentionally skip AppTrafficModel.__init__: identity and params
+        # are borrowed from the base model, and drift was already applied.
+        self.spec = base_model.spec
+        self.day = base_model.day
+        self.params = base_model.params
+        self._schedule = schedule
+        self._mirrored = mirrored
+        self._relay_latency_s = relay_latency_s
+        self._relay_jitter_s = relay_jitter_s
+
+    def _generate(self, rng: random.Random) -> Iterator[TrafficEvent]:
+        index = 0
+        while True:
+            event = self._schedule.event(index)
+            gap_us = event.gap_us
+            direction = event.direction
+            size = event.size_bytes
+            if self._mirrored:
+                direction = (Direction.UPLINK
+                             if direction is Direction.DOWNLINK
+                             else Direction.DOWNLINK)
+                size = max(32, int(size * rng.uniform(0.97, 1.03)))
+                if index == 0:
+                    gap_us = gap_us + seconds(self._relay_latency_s)
+                if self._relay_jitter_s > 0.0:
+                    jitter = rng.gauss(0.0, self._relay_jitter_s)
+                    gap_us = max(0, gap_us + seconds(jitter))
+            yield TrafficEvent(gap_us=gap_us, direction=direction,
+                               size_bytes=size)
+            index += 1
+
+    def on_day(self, day: int) -> "AppTrafficModel":  # pragma: no cover
+        raise NotImplementedError("paired legs are built per conversation")
+
+
+def make_chat_pair(app_cls, seed: int, day: int = 0,
+                   relay_jitter_s: float = 0.0
+                   ) -> Tuple[MirroredChat, MirroredChat]:
+    """Create the two legs of one chat conversation.
+
+    ``app_cls`` is a messaging model class (e.g. ``WhatsApp``).  Returns
+    ``(sender_leg, receiver_leg)`` replaying a common schedule;
+    ``relay_jitter_s`` perturbs the receiver leg's event timing (server
+    relay latency variation, higher on commercial paths).
+    """
+    base = app_cls(day=day)
+    schedule = _SharedSchedule(base, seed)
+    return (MirroredChat(base, schedule, mirrored=False),
+            MirroredChat(base, schedule, mirrored=True,
+                         relay_jitter_s=relay_jitter_s))

@@ -1,0 +1,38 @@
+"""The paper's contribution: the fingerprinting pipeline and attacks.
+
+* :mod:`repro.core.features` — Table II features over 100 ms windows;
+* :mod:`repro.core.dataset` — labelled capture campaigns;
+* :mod:`repro.core.fingerprint` — Attack I (hierarchical RF);
+* :mod:`repro.core.history` — Attack II (multi-zone timeline);
+* :mod:`repro.core.correlation` — Attack III (DTW + logistic verdict);
+* :mod:`repro.core.costmodel` — §VII-D attacker economics;
+* :mod:`repro.core.drift` — §VIII-A time-effect evaluation.
+"""
+
+from .correlation import (PAIR_FEATURE_NAMES, CorrelationAttack, PairScore,
+                          optimal_time_window, precision_recall)
+from .costmodel import (SNIFFER_COST_USD, AttackScenario, AttackerCostModel,
+                        UnitCosts, deployment_cost_usd)
+from .dataset import (LabeledWindows, collect_pair, collect_trace,
+                      collect_traces, windows_from_traces)
+from .drift import (DriftPoint, RetrainingPolicy, days_until_below,
+                    decay_summary, fscore_over_days)
+from .features import (FEATURE_NAMES, N_FEATURES, WindowConfig,
+                       extract_features, volume_series)
+from .fingerprint import (HierarchicalFingerprinter, TraceVerdict,
+                          load_fingerprinter, save_fingerprinter)
+from .history import (HistoryAttack, HistoryFinding, ZoneVisit,
+                      evaluate_findings, segment_episodes)
+
+__all__ = [
+    "AttackScenario", "AttackerCostModel", "CorrelationAttack", "DriftPoint",
+    "FEATURE_NAMES", "HierarchicalFingerprinter", "HistoryAttack",
+    "HistoryFinding", "LabeledWindows", "N_FEATURES", "PAIR_FEATURE_NAMES",
+    "PairScore", "RetrainingPolicy", "SNIFFER_COST_USD", "TraceVerdict",
+    "UnitCosts", "WindowConfig", "ZoneVisit", "collect_pair",
+    "collect_trace", "collect_traces", "days_until_below", "decay_summary",
+    "deployment_cost_usd", "evaluate_findings", "extract_features",
+    "fscore_over_days", "load_fingerprinter", "optimal_time_window",
+    "precision_recall", "save_fingerprinter",
+    "segment_episodes", "volume_series", "windows_from_traces",
+]

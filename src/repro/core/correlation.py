@@ -1,0 +1,198 @@
+"""Attack III: the correlation attack (paper §III-D, §VII-C).
+
+Three steps, as in the paper's Fig. 6: radio scanning and app detection
+are inherited from the fingerprinting pipeline; this module implements
+the third — *similarity calculation* — plus the logistic-regression
+verdict of Table VII:
+
+1. each user's trace becomes a per-second traffic-volume series
+   (``T_w = 1 s`` by default, the paper's setting);
+2. DTW (Eq. 1) scores the similarity of the two series, including the
+   cross-direction comparisons ("the sender sent a specific amount of
+   data at a certain time and the receiver received an equal amount");
+3. a binary logistic-regression model over the similarity features
+   decides whether the pair is actually communicating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..lte.dci import Direction
+from ..ml.dtw import similarity_score
+from ..ml.logistic import BinaryLogisticRegression
+from ..sniffer.trace import Trace
+from .features import volume_series
+
+#: Names of the pair features fed to the logistic model.
+PAIR_FEATURE_NAMES: Tuple[str, ...] = (
+    "sim_total",        # DTW similarity of total frame-count series
+    "sim_up_down",      # A's uplink bytes vs B's downlink bytes
+    "sim_down_up",      # A's downlink bytes vs B's uplink bytes
+    "volume_ratio",     # min/max of total byte volumes
+    "duration_ratio",   # min/max of trace durations
+    "activity_match",   # fraction of seconds with matching on/off state
+)
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """Similarity measurements for one candidate pair of users."""
+
+    similarity: float           # the headline D(T_w, T_a) score (Table VI)
+    features: np.ndarray        # full feature vector (PAIR_FEATURE_NAMES)
+
+
+class CorrelationAttack:
+    """DTW similarity + logistic-regression communication verdict."""
+
+    def __init__(self, bin_s: float = 1.0,
+                 dtw_window: Optional[int] = 3,
+                 threshold: float = 0.5, seed: int = 0) -> None:
+        if bin_s <= 0:
+            raise ValueError(f"bin_s must be positive: {bin_s}")
+        self.bin_s = bin_s
+        self.dtw_window = dtw_window
+        self._model = BinaryLogisticRegression(threshold=threshold,
+                                               seed=seed, epochs=500)
+        self.is_fitted = False
+
+    # -- similarity ---------------------------------------------------------------
+
+    def similarity(self, trace_a: Trace, trace_b: Trace) -> float:
+        """The paper's headline similarity score D(T_w, T_a)."""
+        return self.score_pair(trace_a, trace_b).similarity
+
+    def score_pair(self, trace_a: Trace, trace_b: Trace) -> PairScore:
+        """Compute all similarity features for one candidate pair.
+
+        The headline similarity compares *cross-direction* series: what
+        user A uplinks should reappear as user B's downlink a relay
+        latency later ("the sender sent a specific amount of data at a
+        certain time and the receiver received an equal amount").  Same-
+        direction series are anti-correlated for VoIP — you receive
+        voice while the other side talks — so they carry no pairing
+        signal.
+        """
+        up_a_frames = volume_series(trace_a, self.bin_s,
+                                    direction=Direction.UPLINK,
+                                    value="frames")
+        down_b_frames = volume_series(trace_b, self.bin_s,
+                                      direction=Direction.DOWNLINK,
+                                      value="frames")
+        down_a_frames = volume_series(trace_a, self.bin_s,
+                                      direction=Direction.DOWNLINK,
+                                      value="frames")
+        up_b_frames = volume_series(trace_b, self.bin_s,
+                                    direction=Direction.UPLINK,
+                                    value="frames")
+        if (len(up_a_frames) + len(down_a_frames) == 0
+                or len(up_b_frames) + len(down_b_frames) == 0):
+            empty = np.zeros(len(PAIR_FEATURE_NAMES))
+            return PairScore(similarity=0.0, features=empty)
+        sim_total = 0.5 * (self._directional(up_a_frames, down_b_frames)
+                           + self._directional(down_a_frames, up_b_frames))
+        up_a = volume_series(trace_a, self.bin_s,
+                             direction=Direction.UPLINK, value="bytes")
+        down_b = volume_series(trace_b, self.bin_s,
+                               direction=Direction.DOWNLINK, value="bytes")
+        down_a = volume_series(trace_a, self.bin_s,
+                               direction=Direction.DOWNLINK, value="bytes")
+        up_b = volume_series(trace_b, self.bin_s,
+                             direction=Direction.UPLINK, value="bytes")
+        sim_ud = self._directional(up_a, down_b)
+        sim_du = self._directional(down_a, up_b)
+        bytes_a = float(trace_a.total_bytes)
+        bytes_b = float(trace_b.total_bytes)
+        volume_ratio = (min(bytes_a, bytes_b) / max(bytes_a, bytes_b)
+                        if max(bytes_a, bytes_b) > 0 else 0.0)
+        dur_a, dur_b = trace_a.duration_s, trace_b.duration_s
+        duration_ratio = (min(dur_a, dur_b) / max(dur_a, dur_b)
+                          if max(dur_a, dur_b) > 0 else 0.0)
+        activity = self._activity_match(up_a_frames, down_b_frames)
+        features = np.array([sim_total, sim_ud, sim_du, volume_ratio,
+                             duration_ratio, activity])
+        return PairScore(similarity=sim_total, features=features)
+
+    def _directional(self, a: np.ndarray, b: np.ndarray) -> float:
+        if len(a) == 0 or len(b) == 0:
+            return 0.0
+        return similarity_score(a, b, window=self.dtw_window)
+
+    @staticmethod
+    def _activity_match(a: np.ndarray, b: np.ndarray) -> float:
+        """Fraction of overlapping seconds with the same on/off state."""
+        n = min(len(a), len(b))
+        if n == 0:
+            return 0.0
+        return float(np.mean((a[:n] > 0) == (b[:n] > 0)))
+
+    # -- the logistic verdict ----------------------------------------------------------
+
+    def fit(self, positive_pairs: Sequence[Tuple[Trace, Trace]],
+            negative_pairs: Sequence[Tuple[Trace, Trace]]
+            ) -> "CorrelationAttack":
+        """Train the communicating / not-communicating decision model."""
+        if not positive_pairs or not negative_pairs:
+            raise ValueError("need both positive and negative pairs")
+        X, y = [], []
+        for a, b in positive_pairs:
+            X.append(self.score_pair(a, b).features)
+            y.append(1)
+        for a, b in negative_pairs:
+            X.append(self.score_pair(a, b).features)
+            y.append(0)
+        self._model.fit(np.array(X), np.array(y, dtype=np.int64))
+        self.is_fitted = True
+        return self
+
+    def predict_pairs(self, pairs: Sequence[Tuple[Trace, Trace]]
+                      ) -> np.ndarray:
+        """1 = communicating, 0 = unrelated, per pair."""
+        if not self.is_fitted:
+            raise RuntimeError("correlation model is not fitted")
+        X = np.array([self.score_pair(a, b).features for a, b in pairs])
+        return self._model.predict(X)
+
+    def decision_scores(self, pairs: Sequence[Tuple[Trace, Trace]]
+                        ) -> np.ndarray:
+        """P(communicating) per pair."""
+        if not self.is_fitted:
+            raise RuntimeError("correlation model is not fitted")
+        X = np.array([self.score_pair(a, b).features for a, b in pairs])
+        return self._model.decision_scores(X)
+
+
+def precision_recall(y_true: np.ndarray, y_pred: np.ndarray
+                     ) -> Tuple[float, float]:
+    """Binary precision/recall for the positive (communicating) class."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = float(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = float(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = float(np.sum((y_true == 1) & (y_pred == 0)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    return precision, recall
+
+
+def optimal_time_window(trace_a: Trace, trace_b: Trace,
+                        candidates: Sequence[float] = (0.25, 0.5, 1.0,
+                                                       2.0, 4.0),
+                        dtw_window: Optional[int] = 10
+                        ) -> Tuple[float, List[Tuple[float, float]]]:
+    """The paper's T_w tuning loop (§VII-C).
+
+    "When the time window shrinks, the similarity score increases until
+    the time window reaches a certain threshold" — sweep candidate
+    windows and return the best plus the whole curve.
+    """
+    curve: List[Tuple[float, float]] = []
+    for bin_s in candidates:
+        attack = CorrelationAttack(bin_s=bin_s, dtw_window=dtw_window)
+        curve.append((bin_s, attack.similarity(trace_a, trace_b)))
+    best = max(curve, key=lambda pair: pair[1])
+    return best[0], curve

@@ -1,0 +1,153 @@
+"""The analytical attacker cost model (paper §VII-D, Fig. 7, Eqs. 2–3).
+
+The paper decomposes the cost of *sustaining* the attack into:
+
+* **collecting** ③ — recording ``A_n = A_t × A_v × A_i`` app traces;
+* **training** ⑤ — ``Train_cost = A_n × T_s`` (per-instance cost);
+* **identification** ④⑥ — recording and classifying ``T_d = V_n × A_a``
+  test traces;
+* **retraining** ⑪ — re-running collection+training every ``D`` days
+  when performance falls below the threshold ``X`` (Eq. 3).
+
+Costs are unit-free (the paper never fixes a currency); callers can
+plug in measured wall-clock seconds, dollars, or any other unit via
+:class:`UnitCosts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UnitCosts:
+    """Per-unit costs, in whatever unit the caller cares about."""
+
+    collect_per_instance: float = 1.0     # record one traffic trace
+    feature_per_instance: float = 0.1     # measure features (F_m)
+    train_per_instance: float = 0.05      # T_s: train on one instance
+    classify_per_instance: float = 0.01   # query the classifier once
+
+    def __post_init__(self) -> None:
+        for name in ("collect_per_instance", "feature_per_instance",
+                     "train_per_instance", "classify_per_instance"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """The paper's cost-model variables."""
+
+    apps_to_train: int = 9          # A_t
+    versions_per_app: int = 1       # A_v
+    instances_per_app: int = 10     # A_i
+    victims: int = 1                # V_n
+    apps_per_victim: int = 3        # A_a
+    drift_period_days: int = 7      # D: days until perf < X
+    performance_threshold: float = 0.7   # X
+
+    def __post_init__(self) -> None:
+        for name in ("apps_to_train", "versions_per_app",
+                     "instances_per_app", "victims", "apps_per_victim",
+                     "drift_period_days"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if not 0.0 < self.performance_threshold <= 1.0:
+            raise ValueError("performance_threshold out of (0, 1]")
+
+    @property
+    def training_instances(self) -> int:
+        """A_n = A_t × A_v × A_i."""
+        return (self.apps_to_train * self.versions_per_app
+                * self.instances_per_app)
+
+    @property
+    def test_instances(self) -> int:
+        """T_d = V_n × A_a."""
+        return self.victims * self.apps_per_victim
+
+
+class AttackerCostModel:
+    """Evaluates Eqs. 2–3 for a scenario under given unit costs."""
+
+    def __init__(self, scenario: AttackScenario,
+                 units: UnitCosts = UnitCosts()) -> None:
+        self.scenario = scenario
+        self.units = units
+
+    # -- cost components (Fig. 7 numbered tasks) -----------------------------------
+
+    def collecting_cost(self) -> float:
+        """③ Col_cost(A_n): record the training corpus."""
+        return (self.scenario.training_instances
+                * self.units.collect_per_instance)
+
+    def training_cost(self) -> float:
+        """⑤ Train_cost(A_n, F_m, T_c) = A_n × (F_m + T_s)."""
+        return self.scenario.training_instances * (
+            self.units.feature_per_instance
+            + self.units.train_per_instance)
+
+    def identification_cost(self) -> float:
+        """④⑥ Col_cost(T_d) + Id_cost(T_d, F_m, T_c)."""
+        test = self.scenario.test_instances
+        return test * (self.units.collect_per_instance
+                       + self.units.feature_per_instance
+                       + self.units.classify_per_instance)
+
+    def performance_cost(self) -> float:
+        """Eq. 2: Perf = Col + Train + Col(T_d) + Id."""
+        return (self.collecting_cost() + self.training_cost()
+                + self.identification_cost())
+
+    def retraining_cost(self) -> float:
+        """⑪ Retrain_cost: one full re-collection + re-training pass."""
+        return self.collecting_cost() + self.training_cost()
+
+    def daily_retraining_cost(self) -> float:
+        """Retrain_cost / D — the amortised daily cost (§VII-D)."""
+        return self.retraining_cost() / self.scenario.drift_period_days
+
+    def total_cost(self, measured_performance: float,
+                   horizon_days: int = 0) -> float:
+        """Eq. 3: Perf cost plus retraining if performance fell below X.
+
+        ``horizon_days`` is how long the attacker sustains the attack;
+        the paper's sum over D of Retrain_cost / D contributes one full
+        retraining per drift period.
+        """
+        if horizon_days < 0:
+            raise ValueError(f"horizon_days must be >= 0: {horizon_days}")
+        cost = self.performance_cost()
+        if measured_performance < self.scenario.performance_threshold:
+            periods = max(1, horizon_days // self.scenario.drift_period_days)
+            cost += periods * self.retraining_cost()
+        return cost
+
+    def breakdown(self) -> dict:
+        """All components, keyed by Fig. 7 task name."""
+        return {
+            "collecting": self.collecting_cost(),
+            "training": self.training_cost(),
+            "identification": self.identification_cost(),
+            "performance_total": self.performance_cost(),
+            "retraining_once": self.retraining_cost(),
+            "retraining_daily": self.daily_retraining_cost(),
+        }
+
+
+#: The paper's hardware estimate: "500 to 1,000 USD per SDR-based
+#: sniffer, plus computing power" (§III-A).
+SNIFFER_COST_USD = (500.0, 1000.0)
+
+
+def deployment_cost_usd(n_cells: int,
+                        per_sniffer_usd: float = 750.0,
+                        compute_usd: float = 1500.0) -> float:
+    """One-time hardware cost of covering ``n_cells`` zones."""
+    if n_cells < 1:
+        raise ValueError(f"n_cells must be >= 1: {n_cells}")
+    if per_sniffer_usd < 0 or compute_usd < 0:
+        raise ValueError("costs must be >= 0")
+    return n_cells * per_sniffer_usd + compute_usd

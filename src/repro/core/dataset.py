@@ -1,0 +1,204 @@
+"""Dataset construction: run apps on the simulated network, sniff, label.
+
+Reproduces the paper's training-set methodology (§V "Building the
+training dataset"): drive a known app on our own UE, capture the cell's
+PDCCH with a passive sniffer, group the decoded DCIs into the UE's
+trace via RNTI/TMSI identity mapping, and attach the app label.  The
+same machinery with ``background_count > 0`` reproduces the §VIII-A
+noise-traffic datasets, and ``day`` shifts the app models through their
+parameter drift for the Fig. 8 time-effect study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps import BackgroundMix, category_of, make_app
+from ..apps.paired import make_chat_pair
+from ..apps.voip import make_call_pair
+from ..lte.network import LTENetwork
+from ..ml.base import LabelEncoder
+from ..operators.profiles import LAB, OperatorProfile
+from ..sniffer.capture import CellSniffer
+from ..sniffer.trace import Trace, TraceSet
+from .features import WindowConfig, extract_features
+
+
+def _scaled_day(day: int, operator: OperatorProfile) -> int:
+    """Apply the operator's drift multiplier to the nominal day."""
+    return int(round(day * operator.drift_multiplier))
+
+
+def collect_trace(app_name: str, operator: OperatorProfile = LAB,
+                  duration_s: float = 60.0, seed: int = 0, day: int = 0,
+                  background_count: int = 0,
+                  settle_s: float = 2.0) -> Trace:
+    """Capture one labelled trace of one app in one environment.
+
+    Builds a fresh single-cell network under the operator profile, runs
+    the app on a victim UE for ``duration_s`` (plus ``settle_s`` of
+    post-session drain time), sniffs the PDCCH, and returns the victim's
+    merged per-user trace, rebased to t = 0 and labelled.
+    """
+    network = LTENetwork(seed=seed, **operator.network_kwargs())
+    network.add_cell("cell-0", **operator.cell_kwargs())
+    victim = network.add_ue(name="victim")
+    sniffer = CellSniffer("cell-0", capture_profile=operator.capture_channel,
+                          seed=seed + 1).attach(network)
+    model = make_app(app_name, day=_scaled_day(day, operator))
+    network.start_app_session(victim, model, start_s=0.2,
+                              duration_s=duration_s, session_seed=seed + 2)
+    if background_count > 0:
+        noise = BackgroundMix(count=background_count, day=day,
+                              seed=seed + 3)
+        network.start_app_session(victim, noise, start_s=0.2,
+                                  duration_s=duration_s,
+                                  session_seed=seed + 4)
+    network.run_for(duration_s + settle_s)
+    trace = sniffer.trace_for_tmsi(victim.tmsi).rebased()
+    trace.label = app_name
+    trace.category = category_of(app_name).value
+    trace.operator = operator.name
+    trace.cell = "cell-0"
+    trace.day = day
+    trace.user = victim.name
+    return trace
+
+
+def collect_traces(app_names: Sequence[str],
+                   operator: OperatorProfile = LAB,
+                   traces_per_app: int = 4, duration_s: float = 60.0,
+                   seed: int = 0, day: int = 0,
+                   background_count: int = 0) -> TraceSet:
+    """Capture a labelled TraceSet across apps (one campaign)."""
+    traces = TraceSet()
+    counter = 0
+    for app_name in app_names:
+        for repeat in range(traces_per_app):
+            traces.add(collect_trace(
+                app_name, operator=operator, duration_s=duration_s,
+                seed=seed * 104_729 + counter * 7919 + repeat, day=day,
+                background_count=background_count))
+            counter += 1
+    return traces
+
+
+def collect_pair(app_name: str, kind: str,
+                 operator: OperatorProfile = LAB,
+                 duration_s: float = 60.0, seed: int = 0,
+                 day: int = 0) -> Tuple[Trace, Trace]:
+    """Capture the two legs of one conversation (correlation attack).
+
+    ``kind`` is ``"chat"`` (messaging apps) or ``"call"`` (VoIP apps).
+    Both UEs live in the same cell; one sniffer separates them by
+    identity mapping, exactly as the attack would.
+    """
+    from ..apps.catalog import APP_REGISTRY
+
+    if kind not in ("chat", "call"):
+        raise ValueError(f"kind must be 'chat' or 'call': {kind!r}")
+    app_cls = APP_REGISTRY[app_name]
+    scaled = _scaled_day(day, operator)
+    if kind == "chat":
+        leg_a, leg_b = make_chat_pair(app_cls, seed=seed, day=scaled,
+                                      relay_jitter_s=operator.pair_jitter_s)
+    else:
+        leg_a, leg_b = make_call_pair(app_cls, seed=seed, day=scaled,
+                                      far_jitter_s=operator.pair_jitter_s)
+    network = LTENetwork(seed=seed, **operator.network_kwargs())
+    network.add_cell("cell-0", **operator.cell_kwargs())
+    user_a = network.add_ue(name="user-a")
+    user_b = network.add_ue(name="user-b")
+    sniffer = CellSniffer("cell-0", capture_profile=operator.capture_channel,
+                          seed=seed + 1).attach(network)
+    network.start_app_session(user_a, leg_a, start_s=0.2,
+                              duration_s=duration_s, session_seed=seed + 2)
+    network.start_app_session(user_b, leg_b, start_s=0.2,
+                              duration_s=duration_s, session_seed=seed + 3)
+    network.run_for(duration_s + 2.0)
+    out = []
+    for user in (user_a, user_b):
+        trace = sniffer.trace_for_tmsi(user.tmsi).rebased()
+        trace.label = app_name
+        trace.category = category_of(app_name).value
+        trace.operator = operator.name
+        trace.user = user.name
+        trace.day = day
+        out.append(trace)
+    return out[0], out[1]
+
+
+@dataclass
+class LabeledWindows:
+    """A windowed, labelled dataset ready for the classifiers."""
+
+    X: np.ndarray                  # (n_windows, n_features)
+    app_labels: np.ndarray         # (n_windows,) int app ids
+    category_labels: np.ndarray    # (n_windows,) int category ids
+    trace_ids: np.ndarray          # (n_windows,) source-trace index
+    app_encoder: LabelEncoder
+    category_encoder: LabelEncoder
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    @property
+    def app_of_category(self) -> np.ndarray:
+        """Map app id -> category id (for hierarchical classification)."""
+        out = np.zeros(self.app_encoder.n_classes, dtype=np.int64)
+        for index, app in enumerate(self.app_encoder.classes_):
+            out[index] = self.category_encoder.transform(
+                [category_of(app).value])[0]
+        return out
+
+    def subset(self, mask: np.ndarray) -> "LabeledWindows":
+        """A filtered view sharing the encoders."""
+        return LabeledWindows(X=self.X[mask],
+                              app_labels=self.app_labels[mask],
+                              category_labels=self.category_labels[mask],
+                              trace_ids=self.trace_ids[mask],
+                              app_encoder=self.app_encoder,
+                              category_encoder=self.category_encoder)
+
+
+def windows_from_traces(traces: TraceSet,
+                        config: Optional[WindowConfig] = None,
+                        app_encoder: Optional[LabelEncoder] = None,
+                        category_encoder: Optional[LabelEncoder] = None,
+                        ) -> LabeledWindows:
+    """Window every trace and assemble the labelled matrix.
+
+    Encoders may be passed in so train and test sets share label ids
+    (mandatory when evaluating a trained model on a later capture).
+    """
+    X_parts: List[np.ndarray] = []
+    app_names: List[str] = []
+    category_names: List[str] = []
+    trace_ids: List[int] = []
+    for index, trace in enumerate(traces):
+        if trace.label is None or trace.category is None:
+            raise ValueError(f"trace {index} is unlabelled")
+        features = extract_features(trace, config)
+        if len(features) == 0:
+            continue
+        X_parts.append(features)
+        app_names.extend([trace.label] * len(features))
+        category_names.extend([trace.category] * len(features))
+        trace_ids.extend([index] * len(features))
+    if not X_parts:
+        raise ValueError("no non-empty traces to window")
+    if app_encoder is None:
+        app_encoder = LabelEncoder().fit(app_names)
+    if category_encoder is None:
+        category_encoder = LabelEncoder().fit(category_names)
+    return LabeledWindows(
+        X=np.vstack(X_parts),
+        app_labels=app_encoder.transform(app_names),
+        category_labels=category_encoder.transform(category_names),
+        trace_ids=np.array(trace_ids, dtype=np.int64),
+        app_encoder=app_encoder,
+        category_encoder=category_encoder,
+    )

@@ -1,0 +1,141 @@
+"""Data drift over time and retraining policy (paper §VIII-A, Fig. 8).
+
+"Train a classifier with traces of the mobile apps recorded at the time
+(day) t = 1 ... and test it using traces recorded within 20 days" — app
+models drift a little every day (see :func:`repro.apps.base.drift_params`),
+so the day-1 model's F-score decays, crossing the paper's 0.7
+effectiveness threshold around a week out, which sets the retraining
+period D of the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..ml.metrics import macro_f_score
+from ..operators.profiles import LAB, OperatorProfile
+from .dataset import collect_traces, windows_from_traces
+from .features import WindowConfig
+from .fingerprint import HierarchicalFingerprinter
+
+
+@dataclass(frozen=True)
+class DriftPoint:
+    """F-score of the day-1 model measured on one later day."""
+
+    day: int
+    f_score: float
+
+
+def fscore_over_days(app_names: Sequence[str],
+                     operator: OperatorProfile = LAB,
+                     train_day: int = 1,
+                     test_days: Sequence[int] = tuple(range(1, 21)),
+                     traces_per_app: int = 2,
+                     duration_s: float = 20.0,
+                     seed: int = 0,
+                     window_config: Optional[WindowConfig] = None,
+                     n_trees: int = 20,
+                     train_days: Optional[Sequence[int]] = None
+                     ) -> List[DriftPoint]:
+    """Reproduce Fig. 8: train once, test on every later day.
+
+    Returns one :class:`DriftPoint` per test day.  The macro F-score
+    over the requested apps is reported (the paper plots YouTube on
+    T-Mobile and notes "similar drops" for the rest).
+
+    ``train_days`` switches on the §VI retraining mitigation: traces
+    from *several* days are pooled into the training set, teaching the
+    model the apps' drift direction and flattening the decay curve.
+    """
+    days = list(train_days) if train_days else [train_day]
+    train = collect_traces(app_names, operator=operator,
+                           traces_per_app=traces_per_app,
+                           duration_s=duration_s, seed=seed, day=days[0])
+    for extra_index, extra_day in enumerate(days[1:]):
+        more = collect_traces(app_names, operator=operator,
+                              traces_per_app=traces_per_app,
+                              duration_s=duration_s,
+                              seed=seed + 33_331 * (extra_index + 1),
+                              day=extra_day)
+        for trace in more:
+            train.add(trace)
+    windows = windows_from_traces(train, window_config)
+    model = HierarchicalFingerprinter(window_config=window_config,
+                                      n_trees=n_trees, seed=seed + 1)
+    model.fit(windows)
+    points: List[DriftPoint] = []
+    for day in test_days:
+        test = collect_traces(app_names, operator=operator,
+                              traces_per_app=max(1, traces_per_app // 2),
+                              duration_s=duration_s,
+                              seed=seed + 7919 * day, day=day)
+        test_windows = windows_from_traces(
+            test, window_config, app_encoder=windows.app_encoder,
+            category_encoder=windows.category_encoder)
+        predictions = model.predict_apps(test_windows.X)
+        points.append(DriftPoint(
+            day=day,
+            f_score=macro_f_score(test_windows.app_labels, predictions,
+                                  n_classes=windows.app_encoder.n_classes)))
+    return points
+
+
+def days_until_below(points: Sequence[DriftPoint],
+                     threshold: float = 0.7) -> Optional[int]:
+    """First day the F-score falls below ``threshold`` (None if never).
+
+    This is the drift period D that the §VII-D cost model amortises
+    retraining over.
+    """
+    for point in sorted(points, key=lambda p: p.day):
+        if point.f_score < threshold:
+            return point.day
+    return None
+
+
+@dataclass
+class RetrainingPolicy:
+    """Retrain whenever measured performance crosses a threshold."""
+
+    threshold: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold out of (0, 1]: {self.threshold}")
+
+    def schedule(self, points: Sequence[DriftPoint]) -> List[int]:
+        """Days on which retraining triggers, assuming decay repeats.
+
+        Walks the measured decay curve; every time the score dips below
+        the threshold, a retrain happens and the curve restarts from its
+        beginning (the model is as good as new).
+        """
+        ordered = sorted(points, key=lambda p: p.day)
+        if not ordered:
+            return []
+        retrain_days: List[int] = []
+        curve = [p.f_score for p in ordered]
+        horizon = ordered[-1].day
+        position = 0
+        day = ordered[0].day
+        while day <= horizon:
+            if curve[min(position, len(curve) - 1)] < self.threshold:
+                retrain_days.append(day)
+                position = 0
+            else:
+                position += 1
+            day += 1
+        return retrain_days
+
+    def retrain_count(self, points: Sequence[DriftPoint]) -> int:
+        return len(self.schedule(points))
+
+
+def decay_summary(points: Sequence[DriftPoint]) -> Tuple[float, float]:
+    """(initial F-score, final F-score) of a decay curve."""
+    ordered = sorted(points, key=lambda p: p.day)
+    if not ordered:
+        raise ValueError("empty drift curve")
+    return ordered[0].f_score, ordered[-1].f_score

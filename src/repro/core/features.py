@@ -1,0 +1,221 @@
+"""Feature extraction: Table II vectors aggregated over sliding windows.
+
+The paper selects four feature groups from decoded DCI traces —
+interarrival time, cumulative time, frame (transport-block) size,
+direction, and the RNTI (§V, Table II) — then handles *asynchronous
+sessions* by splitting each trace into windows of ``window_ms``
+(100 ms, chosen empirically in §VI) and aggregating the frames in each
+window.  A window, not a frame, is the classifier's sample unit.
+
+Each non-empty window becomes one feature vector; the layout is fixed
+and named in :data:`FEATURE_NAMES` so models, importances and tests can
+refer to features symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..lte.dci import Direction
+from ..sniffer.trace import Trace
+
+#: Names of the per-window features, in column order.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "frame_count",            # frames in the window
+    "total_bytes",            # sum of TBS over the window
+    "mean_size",              # mean TBS
+    "std_size",               # TBS spread
+    "min_size",               # smallest TBS
+    "max_size",               # largest TBS
+    "mean_interarrival",      # mean gap between frames in the window (s)
+    "std_interarrival",       # gap spread
+    "downlink_frame_frac",    # fraction of frames that are downlink
+    "downlink_byte_frac",     # fraction of bytes that are downlink
+    "cumulative_time",        # window start relative to trace start (s)
+    "gap_since_prev",         # silence before this window (s)
+    "rnti_switches",          # distinct RNTIs in window minus one
+    # Surrounding context (derived from the same Table II vectors; the
+    # trace is analysed offline, so a 100 ms window may see the burst
+    # pattern around it — this is what makes 100 ms windows competitive
+    # with whole-session features, cf. §VI "synchronization points"):
+    "frames_ctx_1s",          # frames within ±0.5 s of the window
+    "bytes_ctx_1s",           # bytes in that second
+    "frames_ctx_5s",          # frames within ±2.5 s
+    "bytes_ctx_5s",           # bytes in those five seconds
+    "burst_age",              # time since the current burst started (s)
+    "burst_bytes",            # total bytes of the burst containing the
+                              # window (the segment-size signature)
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Windowing parameters for feature extraction.
+
+    Args:
+        window_ms: aggregation window (paper default: 100 ms).
+        stride_ms: hop between windows; ``None`` = non-overlapping.
+        direction: restrict to one link direction (Table III's Down /
+            UP columns; Table IV is downlink-only) or ``None`` for both.
+    """
+
+    window_ms: float = 100.0
+    stride_ms: Optional[float] = None
+    direction: Optional[Direction] = None
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise ValueError(f"window_ms must be positive: {self.window_ms}")
+        if self.stride_ms is not None and self.stride_ms <= 0:
+            raise ValueError(f"stride_ms must be positive: {self.stride_ms}")
+
+    @property
+    def effective_stride_ms(self) -> float:
+        return self.stride_ms if self.stride_ms is not None else self.window_ms
+
+
+def extract_features(trace: Trace,
+                     config: Optional[WindowConfig] = None) -> np.ndarray:
+    """Per-window feature matrix for one trace, shape (n_windows, 13).
+
+    Empty windows are skipped (the sniffer sees nothing there); the
+    silence they represent survives as the next window's
+    ``gap_since_prev`` feature, so sparse traffic — the messaging
+    signature — remains visible to the classifier.
+    """
+    config = config or WindowConfig()
+    if config.direction is not None:
+        trace = trace.direction_filtered(config.direction)
+    if not trace.records:
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+
+    times = np.array([r.time_s for r in trace.records])
+    sizes = np.array([r.tbs_bytes for r in trace.records], dtype=np.float64)
+    downs = np.array([r.direction is Direction.DOWNLINK
+                      for r in trace.records], dtype=bool)
+    rntis = np.array([r.rnti for r in trace.records])
+
+    start = times[0]
+    window_s = config.window_ms / 1000.0
+    stride_s = config.effective_stride_ms / 1000.0
+    end = times[-1]
+    # Prefix sums for O(1) trailing-context queries.
+    size_prefix = np.concatenate([[0.0], np.cumsum(sizes)])
+    # Burst starts: indices where the gap to the previous record
+    # exceeds half a second (plus the very first record).
+    gaps_all = np.diff(times)
+    burst_starts = np.concatenate([[0], np.flatnonzero(gaps_all > 0.5) + 1])
+    rows: List[np.ndarray] = []
+    previous_end: Optional[float] = None
+    index = 0
+    while True:
+        # Multiplication (not accumulation) keeps window boundaries from
+        # drifting over long traces.
+        window_start = start + index * stride_s
+        if window_start > end:
+            break
+        window_end = window_start + window_s
+        lo = np.searchsorted(times, window_start, side="left")
+        hi = np.searchsorted(times, window_end, side="left")
+        if hi > lo:
+            context = _surrounding_context(times, size_prefix, burst_starts,
+                                           (window_start + window_end) / 2.0,
+                                           hi)
+            rows.append(_window_row(times[lo:hi], sizes[lo:hi],
+                                    downs[lo:hi], rntis[lo:hi],
+                                    window_start - start,
+                                    (window_start - previous_end)
+                                    if previous_end is not None else 0.0,
+                                    context))
+            previous_end = window_end
+        index += 1
+    if not rows:
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+    return np.vstack(rows)
+
+
+def _surrounding_context(times: np.ndarray, size_prefix: np.ndarray,
+                         burst_starts: np.ndarray, window_mid: float,
+                         hi: int) -> np.ndarray:
+    """Context features around one window (symmetric 1 s / 5 s spans)."""
+    lo_1s = np.searchsorted(times, window_mid - 0.5, side="left")
+    hi_1s = np.searchsorted(times, window_mid + 0.5, side="left")
+    lo_5s = np.searchsorted(times, window_mid - 2.5, side="left")
+    hi_5s = np.searchsorted(times, window_mid + 2.5, side="left")
+    frames_1s = float(hi_1s - lo_1s)
+    bytes_1s = size_prefix[hi_1s] - size_prefix[lo_1s]
+    frames_5s = float(hi_5s - lo_5s)
+    bytes_5s = size_prefix[hi_5s] - size_prefix[lo_5s]
+    # Current burst: the latest burst start at or before the last record
+    # in the window; the burst ends where the next one starts.
+    burst_pos = np.searchsorted(burst_starts, hi - 1, side="right") - 1
+    burst_lo = burst_starts[burst_pos]
+    burst_hi = (burst_starts[burst_pos + 1]
+                if burst_pos + 1 < len(burst_starts) else len(times))
+    burst_age = times[hi - 1] - times[burst_lo]
+    burst_bytes = size_prefix[burst_hi] - size_prefix[burst_lo]
+    return np.array([frames_1s, bytes_1s, frames_5s, bytes_5s,
+                     burst_age, burst_bytes], dtype=np.float64)
+
+
+def _window_row(times: np.ndarray, sizes: np.ndarray, downs: np.ndarray,
+                rntis: np.ndarray, cumulative_time: float,
+                gap_since_prev: float, context: np.ndarray) -> np.ndarray:
+    count = len(times)
+    total = sizes.sum()
+    gaps = np.diff(times) if count > 1 else np.zeros(1)
+    down_bytes = sizes[downs].sum()
+    head = np.array([
+        count,
+        total,
+        sizes.mean(),
+        sizes.std(),
+        sizes.min(),
+        sizes.max(),
+        gaps.mean(),
+        gaps.std(),
+        downs.mean(),
+        (down_bytes / total) if total > 0 else 0.0,
+        cumulative_time,
+        max(0.0, gap_since_prev),
+        float(len(np.unique(rntis)) - 1),
+    ], dtype=np.float64)
+    return np.concatenate([head, context])
+
+
+def volume_series(trace: Trace, bin_s: float = 1.0,
+                  direction: Optional[Direction] = None,
+                  value: str = "frames") -> np.ndarray:
+    """Per-bin traffic volume series — the correlation attack's input.
+
+    The paper generates "graphs with respect to the number of frames"
+    per time threshold ``T_w`` (default 1 s); ``value`` selects frame
+    counts or byte counts per bin.  Bins span the trace's whole
+    duration, *including* empty bins, because silence carries the
+    conversational rhythm DTW matches on.
+    """
+    if bin_s <= 0:
+        raise ValueError(f"bin_s must be positive: {bin_s}")
+    if value not in ("frames", "bytes"):
+        raise ValueError(f"value must be 'frames' or 'bytes': {value!r}")
+    if direction is not None:
+        trace = trace.direction_filtered(direction)
+    if not trace.records:
+        return np.zeros(0, dtype=np.float64)
+    times = np.array([r.time_s for r in trace.records])
+    start = times[0]
+    n_bins = int(np.floor((times[-1] - start) / bin_s)) + 1
+    indices = np.minimum(((times - start) / bin_s).astype(int), n_bins - 1)
+    out = np.zeros(n_bins, dtype=np.float64)
+    if value == "frames":
+        np.add.at(out, indices, 1.0)
+    else:
+        sizes = np.array([r.tbs_bytes for r in trace.records],
+                         dtype=np.float64)
+        np.add.at(out, indices, sizes)
+    return out

@@ -1,0 +1,19 @@
+"""One module per paper table/figure; see DESIGN.md's experiment index.
+
+Every module exposes ``run(scale="fast"|"full") -> Result`` and prints
+the paper-shaped table via ``Result.table()``.
+"""
+
+from . import (ablations, cost_model, countermeasures, fig8_drift,
+               fig9_noise, fiveg, handover, table3_lab, table4_realworld,
+               table5_history, table6_similarity, table7_correlation,
+               table8_algorithms, window_sweep)
+from .common import FAST, FULL, SCALES, Scale, format_table, get_scale
+
+__all__ = [
+    "FAST", "FULL", "SCALES", "Scale", "ablations", "cost_model",
+    "countermeasures", "fiveg", "handover",
+    "fig8_drift", "fig9_noise", "format_table", "get_scale", "table3_lab",
+    "table4_realworld", "table5_history", "table6_similarity",
+    "table7_correlation", "table8_algorithms", "window_sweep",
+]

@@ -1,0 +1,77 @@
+"""Shared experiment infrastructure: scale presets and table rendering.
+
+Every experiment module exposes ``run(scale=...) -> <Result>`` plus a
+``main()`` CLI hook, and renders its result as the same rows the paper
+prints.  Two scale presets exist:
+
+* ``"fast"`` — small capture campaigns sized so the whole benchmark
+  suite finishes in minutes; the *shape* of every result (who wins, by
+  roughly what factor) is preserved.
+* ``"full"`` — longer traces and more repeats, closer to the paper's
+  10-minute captures; use for final numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizing for one experiment run."""
+
+    name: str
+    traces_per_app: int
+    trace_duration_s: float
+    n_trees: int
+    pairs_per_app: int
+    history_visit_s: float
+    drift_test_days: int
+
+    def __post_init__(self) -> None:
+        if self.traces_per_app < 1:
+            raise ValueError("traces_per_app must be >= 1")
+        if self.trace_duration_s <= 0:
+            raise ValueError("trace_duration_s must be positive")
+
+
+FAST = Scale(name="fast", traces_per_app=4, trace_duration_s=40.0,
+             n_trees=24, pairs_per_app=5, history_visit_s=45.0,
+             drift_test_days=10)
+
+FULL = Scale(name="full", traces_per_app=8, trace_duration_s=120.0,
+             n_trees=60, pairs_per_app=10, history_visit_s=300.0,
+             drift_test_days=20)
+
+SCALES: Dict[str, Scale] = {"fast": FAST, "full": FULL}
+
+
+def get_scale(scale) -> Scale:
+    """Resolve a scale preset by name or pass a Scale through."""
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; known: {list(SCALES)}") from None
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned text table (the bench harness prints these)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.3f}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

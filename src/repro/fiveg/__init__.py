@@ -1,0 +1,23 @@
+"""5G NR extension (paper §VIII-C "Extension to 5G").
+
+The paper argues the attack transfers to 5G because "even though the
+radio technologies are different, the high-level behaviour of the
+application is not influenced" — while the new SUPI/SUCI identity
+protection specifically targets the *identity mapping* step.  This
+subpackage implements both halves so the claim can be measured:
+
+* :class:`GNodeB` — an NR cell: 0.5 ms slots (30 kHz numerology),
+  wider bandwidth, and a registration handshake that exposes only a
+  :class:`SUCI` (a fresh concealment of the SUPI on *every*
+  connection) instead of a reusable TMSI;
+* :mod:`repro.fiveg.identifiers` — SUPI/SUCI lifecycle;
+* :func:`repro.experiments.fiveg.run` — the measurement: fingerprinting
+  still works on NR captures, but passive identity tracking collapses
+  because SUCIs never repeat.
+"""
+
+from .gnb import NR_SLOT_US, GNodeB, NRRegistrationRequest, add_nr_cell
+from .identifiers import SUCI, SUPI, SUCIGenerator, make_supi
+
+__all__ = ["GNodeB", "NRRegistrationRequest", "NR_SLOT_US", "SUCI",
+           "SUCIGenerator", "SUPI", "add_nr_cell", "make_supi"]

@@ -1,0 +1,97 @@
+"""5G identity protection: SUPI and SUCI (TS 23.501 / TS 33.501).
+
+The SUPI (Subscription Permanent Identifier) replaces the IMSI; it is
+never sent over the air.  Instead the UE transmits a SUCI (Subscription
+Concealed Identifier): the SUPI's subscriber part encrypted under the
+home network's public key with a *fresh ephemeral key per message*, so
+two SUCIs from the same subscriber are unlinkable to a passive
+observer.  This is exactly the property that breaks the paper's passive
+RNTI↔TMSI identity-mapping step (§VIII-C), and what the
+:mod:`repro.experiments.fiveg` experiment measures.
+
+The ECIES concealment itself is modelled, not implemented: a seeded
+64-bit one-time token stands in for the ciphertext, preserving the two
+properties the attack cares about — per-message freshness and home-
+network decryptability (via the generator's ground-truth table).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class SUPI:
+    """Subscription Permanent Identifier (IMSI-based variant)."""
+
+    mcc: str
+    mnc: str
+    msin: str
+
+    def __post_init__(self) -> None:
+        if not (self.mcc.isdigit() and len(self.mcc) == 3):
+            raise ValueError(f"MCC must be 3 digits: {self.mcc!r}")
+        if not (self.mnc.isdigit() and len(self.mnc) in (2, 3)):
+            raise ValueError(f"MNC must be 2-3 digits: {self.mnc!r}")
+        if not self.msin.isdigit():
+            raise ValueError(f"MSIN must be digits: {self.msin!r}")
+
+    def __str__(self) -> str:
+        return f"imsi-{self.mcc}{self.mnc}{self.msin}"
+
+
+@dataclass(frozen=True)
+class SUCI:
+    """One concealment of a SUPI: routing info in clear, MSIN hidden.
+
+    Only the home-network id (MCC/MNC) is visible; ``ciphertext`` is a
+    fresh value every time, so SUCIs are unlinkable across messages.
+    """
+
+    mcc: str
+    mnc: str
+    ciphertext: int
+
+    def __str__(self) -> str:
+        return f"suci-{self.mcc}{self.mnc}-{self.ciphertext:016x}"
+
+
+def make_supi(rng: random.Random, mcc: str = "310",
+              mnc: str = "260") -> SUPI:
+    """Generate a random SUPI under the given home network."""
+    msin_digits = 15 - len(mcc) - len(mnc)
+    msin = "".join(str(rng.randint(0, 9)) for _ in range(msin_digits))
+    return SUPI(mcc=mcc, mnc=mnc, msin=msin)
+
+
+class SUCIGenerator:
+    """The UE-side concealment function plus home-network deconcealment.
+
+    Real deployments use ECIES with the home network's public key; here
+    a seeded RNG stands in, keeping the two relevant properties: every
+    concealment is fresh, and only the home network (this object) can
+    map a SUCI back to its SUPI.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._ground_truth: Dict[int, SUPI] = {}
+
+    def conceal(self, supi: SUPI) -> SUCI:
+        """Produce a fresh SUCI for ``supi`` (never repeats)."""
+        while True:
+            ciphertext = self._rng.getrandbits(64)
+            if ciphertext not in self._ground_truth:
+                break
+        self._ground_truth[ciphertext] = supi
+        return SUCI(mcc=supi.mcc, mnc=supi.mnc, ciphertext=ciphertext)
+
+    def deconceal(self, suci: SUCI) -> Optional[SUPI]:
+        """Home-network-only reverse mapping."""
+        return self._ground_truth.get(suci.ciphertext)
+
+    @property
+    def concealments_issued(self) -> int:
+        return len(self._ground_truth)

@@ -1,0 +1,60 @@
+"""Cells and multi-cell deployments.
+
+The history attack (paper §VII-B) spans several cell zones ("Zone A'" =
+home, "Zone B'" = workplace, "Zone C'" = grocery store), each served by
+its own eNodeB, with the victim handing over between them.  A
+:class:`Cell` is an eNodeB plus a zone label; deployment-level concerns
+(which cell a UE camps on, handover execution) live in
+:class:`repro.lte.network.LTENetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from .enb import ENodeB
+
+
+@dataclass
+class Cell:
+    """One LTE cell: a zone label and the eNodeB that serves it."""
+
+    cell_id: str
+    enb: ENodeB
+    #: Optional human description, e.g. "home", "workplace".
+    description: str = ""
+    #: Earfcn-like channel number; sniffers must tune to it.
+    channel: int = 0
+    #: Whether an attacker sniffer is deployed in this zone (bookkeeping
+    #: used by the history-attack experiments).
+    sniffer_deployed: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.enb.cell_id != self.cell_id:
+            raise ValueError(
+                f"eNB cell_id {self.enb.cell_id!r} != cell {self.cell_id!r}")
+
+
+@dataclass(frozen=True)
+class MobilityStep:
+    """A scheduled movement of a UE to a target cell at a given time."""
+
+    at_s: float
+    target_cell: str
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0: {self.at_s}")
+
+
+def validate_itinerary(steps: list, known_cells: set) -> None:
+    """Check a mobility itinerary is time-ordered over known cells."""
+    previous = -1.0
+    for step in steps:
+        if step.target_cell not in known_cells:
+            raise ValueError(f"unknown cell {step.target_cell!r}")
+        if step.at_s <= previous:
+            raise ValueError("itinerary times must be strictly increasing")
+        previous = step.at_s
+
+
+__all__ = ["Cell", "MobilityStep", "validate_itinerary"]

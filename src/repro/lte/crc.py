@@ -1,0 +1,84 @@
+"""CRC computation and RNTI masking for DCI messages.
+
+On the PDCCH, each DCI payload carries a CRC whose final bits are XOR-ed
+("masked") with the destination RNTI (3GPP TS 36.212 §5.3.3.2).  A UE —
+or a passive sniffer such as OWL — detects which RNTI a DCI addresses by
+re-computing the CRC over the payload and XOR-ing it with the received,
+masked CRC: the result *is* the RNTI.  This masking is exactly the
+mechanism the paper's sniffer exploits for blind RNTI discovery, so we
+model it faithfully.
+
+LTE uses CRC-16 for DCI (gCRC16, polynomial ``x^16 + x^12 + x^5 + 1``,
+i.e. CCITT 0x1021) and CRC-24A for transport blocks; both are provided.
+"""
+
+from __future__ import annotations
+
+CRC16_POLY = 0x1021
+CRC16_WIDTH = 16
+CRC16_MASK = 0xFFFF
+
+CRC24A_POLY = 0x864CFB
+CRC24A_WIDTH = 24
+CRC24A_MASK = 0xFFFFFF
+
+
+def _build_table(poly: int, width: int) -> tuple:
+    """Precompute a byte-wise CRC table for the given polynomial."""
+    top_bit = 1 << (width - 1)
+    mask = (1 << width) - 1
+    table = []
+    for byte in range(256):
+        register = byte << (width - 8)
+        for _ in range(8):
+            if register & top_bit:
+                register = ((register << 1) ^ poly) & mask
+            else:
+                register = (register << 1) & mask
+        table.append(register)
+    return tuple(table)
+
+
+_CRC16_TABLE = _build_table(CRC16_POLY, CRC16_WIDTH)
+_CRC24A_TABLE = _build_table(CRC24A_POLY, CRC24A_WIDTH)
+
+
+def crc16(data: bytes, initial: int = 0) -> int:
+    """CRC-16/CCITT over ``data`` (gCRC16 of TS 36.212)."""
+    register = initial & CRC16_MASK
+    for byte in data:
+        index = ((register >> 8) ^ byte) & 0xFF
+        register = ((register << 8) ^ _CRC16_TABLE[index]) & CRC16_MASK
+    return register
+
+
+def crc24a(data: bytes, initial: int = 0) -> int:
+    """CRC-24A over ``data`` (transport-block CRC of TS 36.212)."""
+    register = initial & CRC24A_MASK
+    for byte in data:
+        index = ((register >> 16) ^ byte) & 0xFF
+        register = ((register << 8) ^ _CRC24A_TABLE[index]) & CRC24A_MASK
+    return register
+
+
+def mask_crc_with_rnti(crc: int, rnti: int) -> int:
+    """Mask (XOR) a 16-bit DCI CRC with an RNTI, per TS 36.212 §5.3.3.2."""
+    if not 0 <= rnti <= 0xFFFF:
+        raise ValueError(f"RNTI out of 16-bit range: {rnti}")
+    return (crc ^ rnti) & CRC16_MASK
+
+
+def unmask_rnti(masked_crc: int, payload: bytes) -> int:
+    """Recover the RNTI a masked DCI CRC addresses.
+
+    Computes the CRC over ``payload`` and XORs it with ``masked_crc``.
+    This is how a passive sniffer blindly discovers active RNTIs: any
+    16-bit value can come out, and the caller decides (by repetition
+    over time, as OWL does) whether it is a real RNTI or noise.
+    """
+    return (crc16(payload) ^ masked_crc) & CRC16_MASK
+
+
+def crc16_check(data: bytes, expected: int) -> bool:
+    """True if ``expected`` is the correct unmasked CRC-16 for ``data``."""
+    return crc16(data) == (expected & CRC16_MASK)

@@ -1,0 +1,75 @@
+"""Evolved Packet Core: attach, TMSI allocation, and paging.
+
+The EPC's role in the reproduction is small but essential: it hands out
+the TMSIs that make the identity-mapping attack worthwhile (a TMSI is
+far longer-lived than any C-RNTI), and it originates the paging that
+wakes an idle UE when downlink traffic arrives — the event chain that
+forces a fresh RRC connection and hence a fresh, sniffable Msg3/Msg4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from .identifiers import IMSI, TMSIAllocator
+from .ue import UE
+
+
+class EPC:
+    """A minimal MME/S-GW: subscriber registry and paging origin."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._tmsi_pool = TMSIAllocator(rng)
+        self._by_tmsi: Dict[int, UE] = {}
+        self._by_imsi: Dict[str, UE] = {}
+
+    def attach(self, ue: UE) -> int:
+        """Register a UE; allocates and installs its TMSI."""
+        key = str(ue.imsi)
+        if key in self._by_imsi:
+            raise RuntimeError(f"{ue.name} already attached")
+        tmsi = self._tmsi_pool.allocate()
+        ue.on_attach(tmsi)
+        self._by_tmsi[tmsi] = ue
+        self._by_imsi[key] = ue
+        return tmsi
+
+    def detach(self, ue: UE) -> None:
+        """Deregister a UE and release its TMSI."""
+        key = str(ue.imsi)
+        if key not in self._by_imsi:
+            return
+        del self._by_imsi[key]
+        if ue.tmsi is not None:
+            self._by_tmsi.pop(ue.tmsi, None)
+            self._tmsi_pool.release(ue.tmsi)
+            ue.identity.tmsi = None
+
+    def reallocate_tmsi(self, ue: UE) -> int:
+        """Issue a fresh TMSI (periodic GUTI reallocation).
+
+        Networks occasionally refresh TMSIs; the attack must then
+        re-run its identity mapping.  Exposed so experiments can test
+        that failure mode.
+        """
+        if ue.tmsi is None:
+            raise RuntimeError(f"{ue.name} has no TMSI to reallocate")
+        self._by_tmsi.pop(ue.tmsi, None)
+        self._tmsi_pool.release(ue.tmsi)
+        tmsi = self._tmsi_pool.allocate()
+        ue.identity.tmsi = tmsi
+        self._by_tmsi[tmsi] = ue
+        return tmsi
+
+    def lookup_tmsi(self, tmsi: int) -> Optional[UE]:
+        """Resolve a TMSI to its UE (network-internal ground truth)."""
+        return self._by_tmsi.get(tmsi)
+
+    def lookup_imsi(self, imsi: IMSI) -> Optional[UE]:
+        """Resolve an IMSI to its UE (network-internal ground truth)."""
+        return self._by_imsi.get(str(imsi))
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._by_imsi)

@@ -1,0 +1,145 @@
+"""LTE identifier spaces and their lifecycles: RNTI, TMSI, IMSI.
+
+Three identifier layers matter to the paper's attacks:
+
+* **IMSI** — the permanent subscriber identity stored in the SIM.
+* **TMSI** (strictly, the M-TMSI inside the GUTI) — a pseudonymous
+  identity allocated by the EPC at attach; long-lived within a tracking
+  area and reused across RRC connections, which is what makes the
+  identity-mapping attack pay off.
+* **C-RNTI** — the per-connection radio identity allocated by the eNB;
+  refreshed every time the UE drops to RRC idle and reconnects, which is
+  why RNTI tracking alone is insufficient for a targeted attack.
+
+The allocators below reproduce those lifecycles, including the reserved
+RNTI ranges of TS 36.321 §7.1 (RA-RNTI, paging, SI) that a sniffer must
+exclude when hunting for user-plane C-RNTIs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Set
+
+#: C-RNTI usable range per TS 36.321 Table 7.1-1 (0x003D .. 0xFFF3).
+CRNTI_MIN = 0x003D
+CRNTI_MAX = 0xFFF3
+
+#: P-RNTI (paging) — fixed value all UEs monitor.
+P_RNTI = 0xFFFE
+
+#: SI-RNTI (system information broadcast).
+SI_RNTI = 0xFFFF
+
+#: RA-RNTI range used during the random-access procedure.
+RA_RNTI_MIN = 0x0001
+RA_RNTI_MAX = 0x003C
+
+
+def is_crnti(rnti: int) -> bool:
+    """True if ``rnti`` falls in the dedicated C-RNTI range."""
+    return CRNTI_MIN <= rnti <= CRNTI_MAX
+
+
+@dataclass(frozen=True)
+class IMSI:
+    """Permanent subscriber identity: MCC + MNC + MSIN, 15 digits total."""
+
+    mcc: str
+    mnc: str
+    msin: str
+
+    def __post_init__(self) -> None:
+        if not (self.mcc.isdigit() and len(self.mcc) == 3):
+            raise ValueError(f"MCC must be 3 digits: {self.mcc!r}")
+        if not (self.mnc.isdigit() and len(self.mnc) in (2, 3)):
+            raise ValueError(f"MNC must be 2-3 digits: {self.mnc!r}")
+        expected_msin = 15 - len(self.mcc) - len(self.mnc)
+        if not (self.msin.isdigit() and len(self.msin) == expected_msin):
+            raise ValueError(
+                f"MSIN must be {expected_msin} digits for a 15-digit IMSI:"
+                f" {self.msin!r}")
+
+    def __str__(self) -> str:
+        return f"{self.mcc}{self.mnc}{self.msin}"
+
+
+class RNTIAllocator:
+    """eNB-side C-RNTI pool.
+
+    Allocation is random within the C-RNTI range (real eNBs vary:
+    sequential, random, or hash-based; random is the common srsLTE
+    behaviour and is what makes passive RNTI re-acquisition necessary).
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._in_use: Set[int] = set()
+
+    def allocate(self) -> int:
+        """Allocate a fresh C-RNTI not currently in use."""
+        if len(self._in_use) >= (CRNTI_MAX - CRNTI_MIN + 1):
+            raise RuntimeError("C-RNTI pool exhausted")
+        while True:
+            rnti = self._rng.randint(CRNTI_MIN, CRNTI_MAX)
+            if rnti not in self._in_use:
+                self._in_use.add(rnti)
+                return rnti
+
+    def release(self, rnti: int) -> None:
+        """Return a C-RNTI to the pool (idempotent)."""
+        self._in_use.discard(rnti)
+
+    def in_use(self, rnti: int) -> bool:
+        return rnti in self._in_use
+
+    @property
+    def active_count(self) -> int:
+        return len(self._in_use)
+
+
+class TMSIAllocator:
+    """EPC-side M-TMSI pool (32-bit, unique per MME)."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._in_use: Set[int] = set()
+
+    def allocate(self) -> int:
+        """Allocate a fresh 32-bit TMSI."""
+        while True:
+            tmsi = self._rng.getrandbits(32)
+            if tmsi not in self._in_use:
+                self._in_use.add(tmsi)
+                return tmsi
+
+    def release(self, tmsi: int) -> None:
+        self._in_use.discard(tmsi)
+
+    def in_use(self, tmsi: int) -> bool:
+        return tmsi in self._in_use
+
+
+def make_imsi(rng: random.Random, mcc: str = "310", mnc: str = "260") -> IMSI:
+    """Generate a random IMSI under the given home network code."""
+    msin_digits = 15 - len(mcc) - len(mnc)
+    msin = "".join(str(rng.randint(0, 9)) for _ in range(msin_digits))
+    return IMSI(mcc=mcc, mnc=mnc, msin=msin)
+
+
+@dataclass
+class SubscriberIdentity:
+    """The identity triple a UE holds at any instant.
+
+    ``rnti`` is ``None`` while the UE is RRC idle; ``tmsi`` is ``None``
+    until the EPC completes the attach procedure.
+    """
+
+    imsi: IMSI
+    tmsi: Optional[int] = None
+    rnti: Optional[int] = None
+
+    def radio_visible(self) -> bool:
+        """True when the UE currently owns a C-RNTI (is RRC connected)."""
+        return self.rnti is not None

@@ -1,0 +1,76 @@
+"""Radio-layer countermeasures against fingerprinting (paper §VIII-B).
+
+The paper sketches three defence directions; all are implemented here
+as eNB-side options so their cost/benefit can be measured:
+
+* **RNTI refresh** — "a frequent reassignment of the RNTI from the base
+  station can disrupt the tracking and collecting of LTE traffic".  The
+  eNB silently rotates each connected UE's C-RNTI every
+  ``rnti_refresh_s`` seconds (no cleartext identity is exchanged, unlike
+  the initial RRC setup), so the sniffer's per-user trace fragments.
+* **Grant padding** — layer-two traffic morphing: every grant's
+  transport block is rounded up to a multiple of ``padding_quantum``
+  bytes, flattening the size distribution the classifier feeds on.
+* **Chaff grants** — dummy DCIs addressed to connected UEs with
+  probability ``chaff_probability`` per TTI, blurring interarrival
+  structure (and keeping the radio busy — the "high performance
+  overhead" the paper warns about, which :class:`ObfuscationStats`
+  quantifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ObfuscationConfig:
+    """Which countermeasures an eNB applies, and how aggressively."""
+
+    rnti_refresh_s: Optional[float] = None   # None = standard behaviour
+    padding_quantum: int = 0                 # 0 = no padding
+    chaff_probability: float = 0.0           # per-TTI dummy-grant chance
+    chaff_max_bytes: int = 1_200             # size cap for dummy grants
+
+    def __post_init__(self) -> None:
+        if self.rnti_refresh_s is not None and self.rnti_refresh_s <= 0:
+            raise ValueError(
+                f"rnti_refresh_s must be positive: {self.rnti_refresh_s}")
+        if self.padding_quantum < 0:
+            raise ValueError(
+                f"padding_quantum must be >= 0: {self.padding_quantum}")
+        if not 0.0 <= self.chaff_probability < 1.0:
+            raise ValueError(
+                f"chaff_probability out of [0, 1): {self.chaff_probability}")
+        if self.chaff_max_bytes < 1:
+            raise ValueError(
+                f"chaff_max_bytes must be >= 1: {self.chaff_max_bytes}")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.rnti_refresh_s is not None
+                or self.padding_quantum > 0
+                or self.chaff_probability > 0.0)
+
+
+#: No countermeasures — the default, vulnerable configuration.
+NO_OBFUSCATION = ObfuscationConfig()
+
+
+@dataclass
+class ObfuscationStats:
+    """Overhead accounting for deployed countermeasures."""
+
+    useful_bytes: int = 0        # bytes genuinely carrying traffic
+    padding_bytes: int = 0       # extra bytes from grant padding
+    chaff_bytes: int = 0         # bytes spent on dummy grants
+    chaff_grants: int = 0
+    rnti_refreshes: int = 0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Wasted airtime as a fraction of total granted bytes."""
+        wasted = self.padding_bytes + self.chaff_bytes
+        total = self.useful_bytes + wasted
+        return wasted / total if total else 0.0

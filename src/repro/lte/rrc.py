@@ -1,0 +1,109 @@
+"""RRC procedure messages observable on the (unencrypted) control plane.
+
+The identity-mapping step of the attack (Rupprecht et al., adopted by
+the paper as its ❶ "Target Identity Mapping") works because the RRC
+connection establishment is exchanged *before* AS security activates:
+
+1. the UE sends a RACH preamble on a computed RA-RNTI;
+2. the eNB answers with a Random Access Response assigning a temporary
+   C-RNTI;
+3. the UE's ``RRCConnectionRequest`` (Msg3) carries its S-TMSI in the
+   clear;
+4. the eNB's ``RRCConnectionSetup`` (Msg4) echoes that identity as the
+   *contention resolution identity*, addressed to the new C-RNTI.
+
+A passive sniffer that pairs Msg3/Msg4 therefore learns the C-RNTI ↔
+TMSI binding every time the victim reconnects — which, given the RRC
+inactivity timer, happens constantly for bursty apps.
+
+These dataclasses are the control-plane events the simulated eNB emits
+and the sniffer consumes.  They carry only fields genuinely visible
+over the air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class RACHPreamble:
+    """Msg1: random-access preamble (uplink, PRACH)."""
+
+    time_us: int
+    ra_rnti: int
+    preamble_id: int
+
+
+@dataclass(frozen=True)
+class RandomAccessResponse:
+    """Msg2: RAR on PDSCH, addressed to the RA-RNTI; assigns a temp C-RNTI."""
+
+    time_us: int
+    ra_rnti: int
+    temp_crnti: int
+
+
+@dataclass(frozen=True)
+class RRCConnectionRequest:
+    """Msg3: carries the UE's S-TMSI in the clear (pre-security)."""
+
+    time_us: int
+    temp_crnti: int
+    s_tmsi: int
+
+
+@dataclass(frozen=True)
+class RRCConnectionSetup:
+    """Msg4: contention resolution echoing Msg3's identity to the C-RNTI."""
+
+    time_us: int
+    crnti: int
+    contention_resolution_id: int
+
+
+@dataclass(frozen=True)
+class RRCConnectionRelease:
+    """Connection release after the inactivity timer expires."""
+
+    time_us: int
+    crnti: int
+
+
+@dataclass(frozen=True)
+class PagingMessage:
+    """Paging on the P-RNTI, identifying the UE by S-TMSI."""
+
+    time_us: int
+    s_tmsi: int
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """X2 handover: the target cell assigns a fresh C-RNTI.
+
+    Over the air the source cell sends an (encrypted) RRC reconfiguration
+    and the target observes a RACH on a dedicated preamble; what a
+    sniffer in the *target* cell sees is a new C-RNTI becoming active
+    with no cleartext TMSI.  ``source_crnti`` is included for the
+    simulator's ground truth; the sniffer-facing view deliberately hides
+    it (see :mod:`repro.sniffer.identity`).
+    """
+
+    time_us: int
+    source_cell: str
+    target_cell: str
+    source_crnti: int
+    target_crnti: int
+
+
+ControlMessage = Union[
+    RACHPreamble,
+    RandomAccessResponse,
+    RRCConnectionRequest,
+    RRCConnectionSetup,
+    RRCConnectionRelease,
+    PagingMessage,
+    HandoverEvent,
+]

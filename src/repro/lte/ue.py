@@ -1,0 +1,82 @@
+"""User equipment: RRC state and identity, driven by the eNB and EPC.
+
+The UE is deliberately thin: in this reproduction all protocol timing
+lives in the eNB (grants, inactivity release) and the EPC (paging), so
+the UE is the carrier of identity state — which IMSI/TMSI/RNTI it holds,
+whether it is connected, and which cell serves it.  That mirrors what
+the attack can and cannot see: the sniffer never observes UE internals,
+only the identifiers the network assigns to it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from .identifiers import IMSI, SubscriberIdentity
+
+
+class RRCState(enum.Enum):
+    """RRC protocol state of a UE."""
+
+    IDLE = "idle"
+    CONNECTED = "connected"
+
+
+class UE:
+    """A mobile device attached to the simulated network."""
+
+    def __init__(self, imsi: IMSI, name: Optional[str] = None) -> None:
+        self.identity = SubscriberIdentity(imsi=imsi)
+        self.name = name or f"ue-{imsi.msin[-4:]}"
+        self.rrc_state = RRCState.IDLE
+        self.serving_cell: Optional[str] = None
+        #: History of every C-RNTI this UE has held: (time_us, cell, rnti).
+        self.rnti_history: list = []
+
+    # -- state transitions (called by eNB / network) --------------------------
+
+    def on_attach(self, tmsi: int) -> None:
+        """EPC attach completed: UE now holds a TMSI."""
+        self.identity.tmsi = tmsi
+
+    def on_connected(self, time_us: int, cell: str, rnti: int) -> None:
+        """RRC connection established in ``cell`` under ``rnti``."""
+        self.rrc_state = RRCState.CONNECTED
+        self.serving_cell = cell
+        self.identity.rnti = rnti
+        self.rnti_history.append((time_us, cell, rnti))
+
+    def on_released(self) -> None:
+        """RRC connection released; UE returns to idle (keeps its TMSI)."""
+        self.rrc_state = RRCState.IDLE
+        self.identity.rnti = None
+
+    def on_cell_reselect(self, cell: str) -> None:
+        """Idle-mode cell reselection (no radio identifiers change)."""
+        if self.rrc_state is not RRCState.IDLE:
+            raise RuntimeError("cell reselection requires RRC idle")
+        self.serving_cell = cell
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_connected(self) -> bool:
+        return self.rrc_state is RRCState.CONNECTED
+
+    @property
+    def rnti(self) -> Optional[int]:
+        return self.identity.rnti
+
+    @property
+    def tmsi(self) -> Optional[int]:
+        return self.identity.tmsi
+
+    @property
+    def imsi(self) -> IMSI:
+        return self.identity.imsi
+
+    def __repr__(self) -> str:
+        rnti = f"{self.rnti:#06x}" if self.rnti is not None else "-"
+        return (f"UE({self.name}, {self.rrc_state.value}, cell={self.serving_cell},"
+                f" rnti={rnti})")

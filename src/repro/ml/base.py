@@ -1,0 +1,79 @@
+"""Shared ML plumbing: the classifier interface and label encoding.
+
+Every classifier in :mod:`repro.ml` implements the same small surface —
+``fit(X, y)``, ``predict(X)``, ``predict_proba(X)`` — over numpy
+arrays, with string labels handled by :class:`LabelEncoder` at the
+pipeline boundary.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+
+class Classifier(abc.ABC):
+    """Interface implemented by every classifier in the package."""
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on features ``X`` (n, d) and integer labels ``y`` (n,)."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates, shape (n, n_classes)."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per sample."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+
+def check_fit_inputs(X: np.ndarray, y: np.ndarray) -> tuple:
+    """Validate and canonicalise (X, y) for fitting."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if len(X) != len(y):
+        raise ValueError(f"X and y disagree on n: {len(X)} vs {len(y)}")
+    if len(X) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.issubdtype(y.dtype, np.integer):
+        raise ValueError(f"y must be integer-encoded, got dtype {y.dtype}")
+    if y.min() < 0:
+        raise ValueError("labels must be non-negative")
+    return X, y.astype(np.int64)
+
+
+class LabelEncoder:
+    """Bidirectional mapping between string labels and class indices."""
+
+    def __init__(self) -> None:
+        self.classes_: List[str] = []
+        self._index: dict = {}
+
+    def fit(self, labels: Sequence[str]) -> "LabelEncoder":
+        self.classes_ = sorted(set(labels))
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, labels: Sequence[str]) -> np.ndarray:
+        try:
+            return np.array([self._index[label] for label in labels],
+                            dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, labels: Sequence[str]) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, indices: np.ndarray) -> List[str]:
+        return [self.classes_[int(i)] for i in indices]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes_)

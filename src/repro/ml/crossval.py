@@ -1,0 +1,102 @@
+"""Dataset splitting, k-fold cross-validation, and hyperparameter sweeps.
+
+The paper uses an 80/20 split (Table VIII note) and picks kNN's k by
+cross-validating k = 1..10 (§VIII-D); both procedures live here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import accuracy
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_fraction: float = 0.2,
+                     seed: int = 0, stratify: bool = True
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test (paper: 80 % / 20 %).
+
+    With ``stratify`` the per-class proportions are preserved, which
+    matters because the paper's real-world dataset is heavily
+    imbalanced (Streaming 265 599 vs Messenger 38 333 instances).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction out of (0, 1): {test_fraction}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError(f"X and y disagree on n: {len(X)} vs {len(y)}")
+    rng = np.random.default_rng(seed)
+    if not stratify:
+        order = rng.permutation(len(X))
+        cut = int(round(len(X) * (1.0 - test_fraction)))
+        train, test = order[:cut], order[cut:]
+    else:
+        train_parts: List[np.ndarray] = []
+        test_parts: List[np.ndarray] = []
+        for klass in np.unique(y):
+            idx = np.flatnonzero(y == klass)
+            idx = rng.permutation(idx)
+            cut = int(round(len(idx) * (1.0 - test_fraction)))
+            if cut == len(idx) and len(idx) > 1:
+                cut -= 1
+            train_parts.append(idx[:cut])
+            test_parts.append(idx[cut:])
+        train = rng.permutation(np.concatenate(train_parts))
+        test = rng.permutation(np.concatenate(test_parts))
+    return X[train], X[test], y[train], y[test]
+
+
+def k_fold_indices(n: int, folds: int, seed: int = 0
+                   ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs for k-fold CV."""
+    if folds < 2:
+        raise ValueError(f"folds must be >= 2: {folds}")
+    if folds > n:
+        raise ValueError(f"folds={folds} exceeds n={n}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    parts = np.array_split(order, folds)
+    for index in range(folds):
+        test = parts[index]
+        train = np.concatenate([parts[j] for j in range(folds)
+                                if j != index])
+        yield train, test
+
+
+def cross_validate(make_model: Callable, X: np.ndarray, y: np.ndarray,
+                   folds: int = 5, seed: int = 0,
+                   score: Callable = accuracy) -> List[float]:
+    """Per-fold scores for a model factory."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in k_fold_indices(len(X), folds, seed):
+        model = make_model()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(score(y[test_idx], model.predict(X[test_idx])))
+    return scores
+
+
+def tune_knn_k(X: np.ndarray, y: np.ndarray, k_values: Sequence[int] = range(1, 11),
+               folds: int = 5, seed: int = 0) -> Tuple[int, Dict[int, float]]:
+    """The paper's kNN tuning loop: CV accuracy for k = 1..10.
+
+    Returns ``(best_k, {k: mean_accuracy})``; ties break toward the
+    smaller k.
+    """
+    from .knn import KNearestNeighbors
+
+    results: Dict[int, float] = {}
+    for k in k_values:
+        if k > len(X) - len(X) // folds:
+            continue
+        scores = cross_validate(lambda k=k: KNearestNeighbors(k=k),
+                                X, y, folds=folds, seed=seed)
+        results[k] = float(np.mean(scores))
+    if not results:
+        raise ValueError("no feasible k values for this dataset size")
+    best_k = max(sorted(results), key=lambda k: results[k])
+    return best_k, results

@@ -1,0 +1,89 @@
+"""Random Forest — the paper's classifier of choice (§VI, Table VIII).
+
+Breiman-style: each tree is trained on a bootstrap resample with
+per-node feature subsampling (``max_features="sqrt"``), and prediction
+averages the trees' leaf distributions (soft voting).  The paper's
+Weka configuration — 100 trees, seed 1 — is the default.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs
+from .tree import DecisionTree
+
+
+class RandomForest(Classifier):
+    """An ensemble of decorrelated CART trees.
+
+    Args:
+        n_trees: ensemble size (paper: 100).
+        max_depth: per-tree depth limit.
+        min_samples_leaf: per-tree leaf size floor.
+        max_features: per-node feature subsampling (default ``"sqrt"``).
+        seed: master seed (paper: 1); trees get derived seeds.
+    """
+
+    def __init__(self, n_trees: int = 100, max_depth: Optional[int] = None,
+                 min_samples_leaf: int = 1,
+                 max_features: Union[str, int, None] = "sqrt",
+                 seed: int = 1) -> None:
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1: {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: List[DecisionTree] = []
+        self.n_classes_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            n_classes: Optional[int] = None) -> "RandomForest":
+        X, y = check_fit_inputs(X, y)
+        self.n_classes_ = n_classes or int(y.max()) + 1
+        rng = random.Random(self.seed)
+        master = np.random.default_rng(self.seed)
+        n = len(X)
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            indices = master.integers(0, n, size=n)
+            tree = DecisionTree(max_depth=self.max_depth,
+                                min_samples_split=2,
+                                min_samples_leaf=self.min_samples_leaf,
+                                max_features=self.max_features,
+                                seed=rng.getrandbits(32))
+            tree.fit(X[indices], y[indices], n_classes=self.n_classes_)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros((len(X), self.n_classes_), dtype=np.float64)
+        for tree in self.trees_:
+            total += tree.predict_proba(X)
+        return total / self.n_trees
+
+    def feature_importances(self) -> np.ndarray:
+        """Crude importance: how often each feature is used for a split."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        counts = np.zeros(self.trees_[0].n_features_, dtype=np.float64)
+
+        def walk(node) -> None:
+            if node.is_leaf:
+                return
+            counts[node.feature] += 1
+            walk(node.left)
+            walk(node.right)
+
+        for tree in self.trees_:
+            walk(tree._root)
+        total = counts.sum()
+        return counts / total if total else counts

@@ -1,0 +1,76 @@
+"""k-nearest neighbours, Table VIII's "kNN" (optimal k = 4 by CV).
+
+Brute-force Euclidean search, chunked so the distance matrix never
+exceeds a bounded memory footprint.  Features are standardised
+internally — without it, the byte-count features would drown the
+time-based ones.  The paper notes kNN's prediction-time cost on large
+datasets; :attr:`last_query_comparisons` exposes that cost for the
+attack-cost benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs
+
+
+class KNearestNeighbors(Classifier):
+    """Brute-force kNN with uniform votes.
+
+    Args:
+        k: number of neighbours (paper's tuned value: 4).
+        chunk_size: query rows processed per distance-matrix block.
+    """
+
+    def __init__(self, k: int = 4, chunk_size: int = 512) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1: {k}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        self.k = k
+        self.chunk_size = chunk_size
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.n_classes_: int = 0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.last_query_comparisons: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNearestNeighbors":
+        X, y = check_fit_inputs(X, y)
+        if self.k > len(X):
+            raise ValueError(f"k={self.k} exceeds training size {len(X)}")
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        self._X = (X - self._mean) / self._std
+        self._y = y
+        self.n_classes_ = int(y.max()) + 1
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        Xs = (X - self._mean) / self._std
+        n = len(Xs)
+        out = np.zeros((n, self.n_classes_), dtype=np.float64)
+        train_sq = np.sum(self._X ** 2, axis=1)
+        self.last_query_comparisons = 0
+        for start in range(0, n, self.chunk_size):
+            block = Xs[start:start + self.chunk_size]
+            # Squared distances via the expansion trick.
+            distances = (np.sum(block ** 2, axis=1)[:, None]
+                         - 2.0 * block @ self._X.T + train_sq[None, :])
+            self.last_query_comparisons += distances.size
+            neighbour_idx = np.argpartition(distances, self.k - 1,
+                                            axis=1)[:, :self.k]
+            votes = self._y[neighbour_idx]
+            for offset in range(len(block)):
+                counts = np.bincount(votes[offset],
+                                     minlength=self.n_classes_)
+                out[start + offset] = counts / self.k
+        return out

@@ -1,0 +1,129 @@
+"""Multinomial logistic regression (softmax), Table VIII's "LR".
+
+Full-batch gradient descent with Nesterov-free momentum on the softmax
+cross-entropy, L2-regularised with the paper's parameterisation
+``C = 1`` (C is the *inverse* regularisation strength, as the paper's
+footnote defines).  Features are standardised internally so the single
+learning rate behaves across heterogeneous feature scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(Classifier):
+    """Softmax regression with L2 regularisation.
+
+    Args:
+        C: inverse regularisation strength (paper: 1).
+        learning_rate: gradient step size.
+        epochs: full-batch iterations.
+        momentum: classical momentum coefficient.
+        tol: early-stop threshold on loss improvement.
+    """
+
+    def __init__(self, C: float = 1.0, learning_rate: float = 0.5,
+                 epochs: int = 300, momentum: float = 0.9,
+                 tol: float = 1e-6, seed: int = 0) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive: {C}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1: {epochs}")
+        self.C = C
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.momentum = momentum
+        self.tol = tol
+        self.seed = seed
+        self.weights_: Optional[np.ndarray] = None   # (d + 1, k) incl. bias
+        self.n_classes_: int = 0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.loss_history_: list = []
+
+    def _standardise(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._mean = X.mean(axis=0)
+            self._std = X.std(axis=0)
+            self._std[self._std == 0] = 1.0
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = check_fit_inputs(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        Xs = self._standardise(X, fit=True)
+        n, d = Xs.shape
+        Xb = np.hstack([Xs, np.ones((n, 1))])
+        onehot = np.zeros((n, self.n_classes_))
+        onehot[np.arange(n), y] = 1.0
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(0.0, 0.01, size=(d + 1, self.n_classes_))
+        velocity = np.zeros_like(weights)
+        lam = 1.0 / (self.C * n)
+        self.loss_history_ = []
+        previous_loss = np.inf
+        for _ in range(self.epochs):
+            probs = softmax(Xb @ weights)
+            loss = (-np.sum(onehot * np.log(probs + 1e-12)) / n
+                    + 0.5 * lam * np.sum(weights[:-1] ** 2))
+            self.loss_history_.append(float(loss))
+            grad = Xb.T @ (probs - onehot) / n
+            grad[:-1] += lam * weights[:-1]
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            weights = weights + velocity
+            if previous_loss - loss < self.tol and loss <= previous_loss:
+                break
+            previous_loss = loss
+        self.weights_ = weights
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        Xs = self._standardise(X, fit=False)
+        Xb = np.hstack([Xs, np.ones((len(Xs), 1))])
+        return softmax(Xb @ self.weights_)
+
+
+class BinaryLogisticRegression(LogisticRegression):
+    """Two-class convenience wrapper used by the correlation attack.
+
+    Adds :meth:`decision_scores` (probability of the positive class) and
+    a tunable decision ``threshold``.
+    """
+
+    def __init__(self, threshold: float = 0.5, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold out of (0, 1): {threshold}")
+        self.threshold = threshold
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinaryLogisticRegression":
+        y = np.asarray(y)
+        unique = set(np.unique(y))
+        if unique - {0, 1}:
+            raise ValueError("binary model requires labels in {0, 1}")
+        if unique != {0, 1}:
+            raise ValueError("binary model requires both classes present")
+        super().fit(X, y.astype(np.int64))
+        return self
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """P(class == 1) per sample."""
+        return self.predict_proba(X)[:, 1]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_scores(X) >= self.threshold).astype(np.int64)

@@ -1,0 +1,130 @@
+"""Classification metrics: the numbers every paper table reports.
+
+Precision, recall and F-score are computed per class (Tables III, IV,
+VII report them per app), with macro and weighted aggregates; weighted
+accuracy is what Table VIII compares algorithms on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: Optional[int] = None) -> np.ndarray:
+    """Counts matrix with true classes on rows, predictions on columns."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if len(y_true) == 0:
+        raise ValueError("empty inputs")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassScores:
+    """Precision / recall / F-score for one class."""
+
+    precision: float
+    recall: float
+    f_score: float
+    support: int
+
+
+def per_class_scores(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: Optional[int] = None) -> list:
+    """Per-class :class:`ClassScores`, indexed by class id.
+
+    A class with no predicted samples gets precision 0 (and likewise
+    recall for no true samples) — the conservative convention.
+    """
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    scores = []
+    for klass in range(matrix.shape[0]):
+        tp = float(matrix[klass, klass])
+        fp = float(matrix[:, klass].sum() - tp)
+        fn = float(matrix[klass, :].sum() - tp)
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        f_score = (2 * precision * recall / (precision + recall)
+                   if precision + recall > 0 else 0.0)
+        scores.append(ClassScores(precision=precision, recall=recall,
+                                  f_score=f_score,
+                                  support=int(matrix[klass, :].sum())))
+    return scores
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        raise ValueError("empty inputs")
+    return float(np.mean(y_true == y_pred))
+
+
+def macro_f_score(y_true: np.ndarray, y_pred: np.ndarray,
+                  n_classes: Optional[int] = None) -> float:
+    """Unweighted mean of per-class F-scores."""
+    scores = per_class_scores(y_true, y_pred, n_classes)
+    return float(np.mean([s.f_score for s in scores]))
+
+
+def weighted_f_score(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: Optional[int] = None) -> float:
+    """Support-weighted mean of per-class F-scores."""
+    scores = per_class_scores(y_true, y_pred, n_classes)
+    supports = np.array([s.support for s in scores], dtype=np.float64)
+    if supports.sum() == 0:
+        return 0.0
+    values = np.array([s.f_score for s in scores])
+    return float(np.sum(values * supports) / supports.sum())
+
+
+def weighted_accuracy(y_true: np.ndarray, y_pred: np.ndarray,
+                      class_of: Sequence[int],
+                      n_groups: Optional[int] = None) -> Dict[int, float]:
+    """Per-group accuracy for samples grouped by ``class_of[label]``.
+
+    Table VIII reports accuracy per *category* (Streaming / Calling /
+    Messenger) for a classifier trained on apps; ``class_of`` maps each
+    app label to its category id.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    mapping = np.asarray(class_of, dtype=np.int64)
+    groups = mapping[y_true]
+    if n_groups is None:
+        n_groups = int(mapping.max()) + 1
+    out: Dict[int, float] = {}
+    for group in range(n_groups):
+        mask = groups == group
+        if not mask.any():
+            out[group] = 0.0
+            continue
+        out[group] = float(np.mean(y_true[mask] == y_pred[mask]))
+    return out
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray,
+                          class_names: Sequence[str]) -> str:
+    """Human-readable per-class P/R/F table (for CLI output)."""
+    scores = per_class_scores(y_true, y_pred, n_classes=len(class_names))
+    width = max(len(name) for name in class_names) + 2
+    lines = [f"{'class':<{width}} {'precision':>9} {'recall':>9} "
+             f"{'f-score':>9} {'support':>8}"]
+    for name, score in zip(class_names, scores):
+        lines.append(f"{name:<{width}} {score.precision:>9.3f} "
+                     f"{score.recall:>9.3f} {score.f_score:>9.3f} "
+                     f"{score.support:>8d}")
+    lines.append(f"{'accuracy':<{width}} {accuracy(y_true, y_pred):>9.3f}")
+    return "\n".join(lines)

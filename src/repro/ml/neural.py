@@ -1,0 +1,189 @@
+"""A small 1-D convolutional network, Table VIII's "CNN".
+
+Architecture: Conv1D(width 3) → ReLU → MaxPool(2) → Dense → ReLU →
+Dense → softmax cross-entropy ("LF = SCE" in the paper's Table VIII),
+trained with Adam on minibatches.  Forward and backward passes are
+hand-written numpy — no autograd framework exists on this box.
+
+The paper finds the CNN *underperforms* Random Forest on this tabular
+feature set (0.677 vs 0.821 weighted accuracy) while costing far more
+to train; reproducing that ranking is part of the Table VIII
+experiment, so this implementation is deliberately faithful rather
+than tuned to win.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs
+from .logistic import softmax
+
+
+class _Adam:
+    """Adam optimiser state for one parameter tensor."""
+
+    def __init__(self, shape, lr: float) -> None:
+        self.lr = lr
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)
+        self.t = 0
+
+    def step(self, param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self.t += 1
+        self.m = beta1 * self.m + (1 - beta1) * grad
+        self.v = beta2 * self.v + (1 - beta2) * grad ** 2
+        m_hat = self.m / (1 - beta1 ** self.t)
+        v_hat = self.v / (1 - beta2 ** self.t)
+        return param - self.lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class ConvNet(Classifier):
+    """1-D CNN over the (ordered) feature vector.
+
+    Args:
+        n_filters: convolution filters.
+        hidden: width of the dense hidden layer.
+        kernel: convolution width.
+        epochs: passes over the training data.
+        batch_size: minibatch size.
+        learning_rate: Adam step size.
+        seed: initialisation seed.
+    """
+
+    def __init__(self, n_filters: int = 16, hidden: int = 32,
+                 kernel: int = 3, epochs: int = 60, batch_size: int = 64,
+                 learning_rate: float = 1e-3, seed: int = 0) -> None:
+        if kernel < 2:
+            raise ValueError(f"kernel must be >= 2: {kernel}")
+        self.n_filters = n_filters
+        self.hidden = hidden
+        self.kernel = kernel
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.n_classes_: int = 0
+        self._params: Optional[dict] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.loss_history_: list = []
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _windows(self, X: np.ndarray) -> np.ndarray:
+        """im2col: (n, d) -> (n, L, kernel) sliding windows."""
+        n, d = X.shape
+        L = d - self.kernel + 1
+        if L < 2:
+            raise ValueError(
+                f"too few features ({d}) for kernel {self.kernel}")
+        idx = np.arange(L)[:, None] + np.arange(self.kernel)[None, :]
+        return X[:, idx]
+
+    def _init(self, d: int, k: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        L = d - self.kernel + 1
+        L2 = L // 2
+        if L2 < 1:
+            raise ValueError(
+                f"too few features ({d}) for kernel {self.kernel} "
+                f"plus pooling")
+        flat = L2 * self.n_filters
+        scale = np.sqrt(2.0)
+        self._params = {
+            "Wc": rng.normal(0, scale / np.sqrt(self.kernel),
+                             (self.kernel, self.n_filters)),
+            "bc": np.zeros(self.n_filters),
+            "W1": rng.normal(0, scale / np.sqrt(flat), (flat, self.hidden)),
+            "b1": np.zeros(self.hidden),
+            "W2": rng.normal(0, scale / np.sqrt(self.hidden),
+                             (self.hidden, k)),
+            "b2": np.zeros(k),
+        }
+        self._L, self._L2 = L, L2
+
+    def _forward(self, X: np.ndarray, cache: bool = False):
+        p = self._params
+        Xw = self._windows(X)                               # (n, L, K)
+        conv = Xw @ p["Wc"] + p["bc"]                       # (n, L, F)
+        relu1 = np.maximum(conv, 0.0)
+        pooled_in = relu1[:, : self._L2 * 2, :].reshape(
+            len(X), self._L2, 2, self.n_filters)
+        pool_arg = pooled_in.argmax(axis=2)                 # (n, L2, F)
+        pooled = pooled_in.max(axis=2)
+        flat = pooled.reshape(len(X), -1)
+        z1 = flat @ p["W1"] + p["b1"]
+        relu2 = np.maximum(z1, 0.0)
+        logits = relu2 @ p["W2"] + p["b2"]
+        probs = softmax(logits)
+        if not cache:
+            return probs
+        return probs, {"Xw": Xw, "conv": conv, "pool_arg": pool_arg,
+                       "flat": flat, "z1": z1, "relu2": relu2}
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ConvNet":
+        X, y = check_fit_inputs(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = (X - self._mean) / self._std
+        self._init(Xs.shape[1], self.n_classes_)
+        p = self._params
+        adam = {name: _Adam(p[name].shape, self.learning_rate) for name in p}
+        rng = np.random.default_rng(self.seed + 1)
+        n = len(Xs)
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                xb, yb = Xs[idx], y[idx]
+                probs, cache = self._forward(xb, cache=True)
+                m = len(xb)
+                onehot = np.zeros_like(probs)
+                onehot[np.arange(m), yb] = 1.0
+                epoch_loss += float(
+                    -np.sum(onehot * np.log(probs + 1e-12)))
+                # -- backward --
+                dlogits = (probs - onehot) / m
+                dW2 = cache["relu2"].T @ dlogits
+                db2 = dlogits.sum(axis=0)
+                drelu2 = dlogits @ p["W2"].T
+                dz1 = drelu2 * (cache["z1"] > 0)
+                dW1 = cache["flat"].T @ dz1
+                db1 = dz1.sum(axis=0)
+                dflat = dz1 @ p["W1"].T
+                dpool = dflat.reshape(m, self._L2, self.n_filters)
+                # Un-pool: route gradient to the argmax positions.
+                dpre = np.zeros((m, self._L2, 2, self.n_filters))
+                i0 = np.arange(m)[:, None, None]
+                i1 = np.arange(self._L2)[None, :, None]
+                i3 = np.arange(self.n_filters)[None, None, :]
+                dpre[i0, i1, cache["pool_arg"], i3] = dpool
+                dconv = np.zeros_like(cache["conv"])
+                dconv[:, : self._L2 * 2, :] = dpre.reshape(
+                    m, self._L2 * 2, self.n_filters)
+                dconv *= cache["conv"] > 0
+                dWc = np.tensordot(cache["Xw"], dconv, axes=([0, 1], [0, 1]))
+                dbc = dconv.sum(axis=(0, 1))
+                grads = {"Wc": dWc, "bc": dbc, "W1": dW1, "b1": db1,
+                         "W2": dW2, "b2": db2}
+                for name in p:
+                    p[name] = adam[name].step(p[name], grads[name])
+            self.loss_history_.append(epoch_loss / n)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        Xs = (X - self._mean) / self._std
+        return self._forward(Xs)

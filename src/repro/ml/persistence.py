@@ -1,0 +1,99 @@
+"""Model persistence: save/load trained classifiers as JSON.
+
+The paper's artefact release includes "the trained model"; this module
+provides the equivalent capability — forests (and the fingerprinting
+pipeline built on them, see
+:func:`repro.core.fingerprint.save_fingerprinter`) serialise to plain
+JSON so a model trained on one machine classifies on another with no
+pickle-security caveats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from .forest import RandomForest
+from .tree import DecisionTree, _Node
+
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: _Node) -> Dict:
+    payload: Dict = {"d": [round(float(v), 9) for v in node.distribution]}
+    if not node.is_leaf:
+        payload["f"] = node.feature
+        payload["t"] = node.threshold
+        payload["l"] = _node_to_dict(node.left)
+        payload["r"] = _node_to_dict(node.right)
+    return payload
+
+
+def _node_from_dict(payload: Dict) -> _Node:
+    node = _Node(distribution=np.array(payload["d"], dtype=np.float64))
+    if "f" in payload:
+        node.feature = int(payload["f"])
+        node.threshold = float(payload["t"])
+        node.left = _node_from_dict(payload["l"])
+        node.right = _node_from_dict(payload["r"])
+    return node
+
+
+def tree_to_dict(tree: DecisionTree) -> Dict:
+    """Serialise a fitted decision tree."""
+    if tree._root is None:
+        raise ValueError("cannot serialise an unfitted tree")
+    return {
+        "n_classes": tree.n_classes_,
+        "n_features": tree.n_features_,
+        "root": _node_to_dict(tree._root),
+    }
+
+
+def tree_from_dict(payload: Dict) -> DecisionTree:
+    """Rebuild a decision tree serialised by :func:`tree_to_dict`."""
+    tree = DecisionTree()
+    tree.n_classes_ = int(payload["n_classes"])
+    tree.n_features_ = int(payload["n_features"])
+    tree._root = _node_from_dict(payload["root"])
+    return tree
+
+
+def forest_to_dict(forest: RandomForest) -> Dict:
+    """Serialise a fitted Random Forest."""
+    if not forest.trees_:
+        raise ValueError("cannot serialise an unfitted forest")
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "random-forest",
+        "n_trees": forest.n_trees,
+        "n_classes": forest.n_classes_,
+        "seed": forest.seed,
+        "trees": [tree_to_dict(tree) for tree in forest.trees_],
+    }
+
+
+def forest_from_dict(payload: Dict) -> RandomForest:
+    """Rebuild a Random Forest serialised by :func:`forest_to_dict`."""
+    if payload.get("kind") != "random-forest":
+        raise ValueError(f"not a serialised forest: {payload.get('kind')!r}")
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format {payload.get('format')!r}")
+    forest = RandomForest(n_trees=int(payload["n_trees"]),
+                          seed=int(payload.get("seed", 1)))
+    forest.n_classes_ = int(payload["n_classes"])
+    forest.trees_ = [tree_from_dict(t) for t in payload["trees"]]
+    return forest
+
+
+def save_forest(forest: RandomForest, path: Path) -> None:
+    """Write a fitted forest to a JSON file."""
+    Path(path).write_text(json.dumps(forest_to_dict(forest)))
+
+
+def load_forest(path: Path) -> RandomForest:
+    """Read a forest written by :func:`save_forest`."""
+    return forest_from_dict(json.loads(Path(path).read_text()))

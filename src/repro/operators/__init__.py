@@ -1,0 +1,7 @@
+"""Lab and carrier environment profiles (paper §VII)."""
+
+from .profiles import (ATT, CARRIERS, LAB, PROFILES, TMOBILE, VERIZON,
+                       OperatorProfile, get_profile)
+
+__all__ = ["ATT", "CARRIERS", "LAB", "OperatorProfile", "PROFILES",
+           "TMOBILE", "VERIZON", "get_profile"]

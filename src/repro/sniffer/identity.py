@@ -1,0 +1,178 @@
+"""Target identity mapping: RNTI ↔ TMSI ↔ IMSI (paper §III-E ❶).
+
+The attack's prerequisite is a durable handle on the victim.  C-RNTIs
+churn with every RRC reconnect, so the sniffer continuously re-learns
+which RNTI belongs to the victim's TMSI by pairing the cleartext Msg3
+(``RRCConnectionRequest`` carrying the S-TMSI) with Msg4
+(``RRCConnectionSetup`` whose contention-resolution identity echoes
+it) — the passive method of Rupprecht et al. that the paper adopts.
+
+Two modes, exactly as §III-E discusses:
+
+* **Passive** (default): only the Msg3/Msg4 pairing.  Handover leaves a
+  gap — the target cell assigns a new C-RNTI without any cleartext
+  TMSI — until the victim's next idle-reconnect in the new cell.
+* **Active** (:class:`IMSICatcher`): models an IMSI catcher / watermark
+  injector.  It resolves TMSI → IMSI and follows handover events, at
+  the cost of no longer being fully passive (the paper's caveat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..lte.epc import EPC
+from ..lte.rrc import (ControlMessage, HandoverEvent, RRCConnectionRelease,
+                       RRCConnectionRequest, RRCConnectionSetup)
+from ..lte.sim import to_seconds
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One RNTI ↔ TMSI association valid over a time interval."""
+
+    rnti: int
+    tmsi: int
+    start_s: float
+    end_s: Optional[float] = None       # None while still live
+    cell: Optional[str] = None
+
+    def covers(self, time_s: float) -> bool:
+        if time_s < self.start_s:
+            return False
+        return self.end_s is None or time_s < self.end_s
+
+
+class IdentityMapper:
+    """Passive RNTI↔TMSI mapper for one cell's control feed."""
+
+    def __init__(self, cell: Optional[str] = None) -> None:
+        self._cell = cell
+        self._pending_requests: Dict[int, RRCConnectionRequest] = {}
+        self._live: Dict[int, Binding] = {}           # rnti -> live binding
+        self._history: List[Binding] = []
+        self.mappings_learned = 0
+
+    def on_control(self, message: ControlMessage) -> None:
+        """Feed one control-plane message from the cell."""
+        if isinstance(message, RRCConnectionRequest):
+            self._pending_requests[message.temp_crnti] = message
+        elif isinstance(message, RRCConnectionSetup):
+            request = self._pending_requests.pop(message.crnti, None)
+            if request is None:
+                return
+            # Contention resolution passes iff Msg4 echoes Msg3's identity.
+            if message.contention_resolution_id != request.s_tmsi:
+                return
+            self._open(message.crnti, request.s_tmsi,
+                       to_seconds(message.time_us))
+        elif isinstance(message, RRCConnectionRelease):
+            self._close(message.crnti, to_seconds(message.time_us))
+        elif isinstance(message, HandoverEvent):
+            # Passive sniffers cannot link the new C-RNTI to a TMSI from
+            # a handover; the old binding merely dies in this cell.
+            if message.source_cell == self._cell:
+                self._close(message.source_crnti,
+                            to_seconds(message.time_us))
+
+    def _open(self, rnti: int, tmsi: int, time_s: float) -> None:
+        self._close(rnti, time_s)
+        binding = Binding(rnti=rnti, tmsi=tmsi, start_s=time_s,
+                          cell=self._cell)
+        self._live[rnti] = binding
+        self.mappings_learned += 1
+
+    def _close(self, rnti: int, time_s: float) -> None:
+        live = self._live.pop(rnti, None)
+        if live is not None:
+            self._history.append(Binding(rnti=live.rnti, tmsi=live.tmsi,
+                                         start_s=live.start_s, end_s=time_s,
+                                         cell=live.cell))
+
+    def register_handover_binding(self, rnti: int, tmsi: int,
+                                  time_s: float) -> None:
+        """Install a binding learned out-of-band (active mode only)."""
+        self._open(rnti, tmsi, time_s)
+
+    # -- queries ---------------------------------------------------------------
+
+    def current_rnti(self, tmsi: int) -> Optional[int]:
+        """The C-RNTI currently bound to ``tmsi``, if known."""
+        for rnti, binding in self._live.items():
+            if binding.tmsi == tmsi:
+                return rnti
+        return None
+
+    def tmsi_for(self, rnti: int, time_s: Optional[float] = None
+                 ) -> Optional[int]:
+        """Resolve an RNTI to a TMSI, optionally at a past instant."""
+        if time_s is None:
+            live = self._live.get(rnti)
+            return live.tmsi if live is not None else None
+        for binding in self.bindings_for_rnti(rnti):
+            if binding.covers(time_s):
+                return binding.tmsi
+        return None
+
+    def bindings_for_tmsi(self, tmsi: int) -> List[Binding]:
+        """All bindings (past and live) for a TMSI, oldest first."""
+        out = [b for b in self._history if b.tmsi == tmsi]
+        out.extend(b for b in self._live.values() if b.tmsi == tmsi)
+        return sorted(out, key=lambda b: b.start_s)
+
+    def bindings_for_rnti(self, rnti: int) -> List[Binding]:
+        """All bindings (past and live) for an RNTI, oldest first."""
+        out = [b for b in self._history if b.rnti == rnti]
+        live = self._live.get(rnti)
+        if live is not None:
+            out.append(live)
+        return sorted(out, key=lambda b: b.start_s)
+
+    def all_rntis_for_tmsi(self, tmsi: int) -> List[int]:
+        """Every RNTI the TMSI has held in this cell, in order."""
+        return [b.rnti for b in self.bindings_for_tmsi(tmsi)]
+
+
+class IMSICatcher:
+    """Active-attack oracle: TMSI → IMSI resolution and handover linking.
+
+    In the real attack this is a fake base station or overshadowing rig
+    (§II-B); here it is an oracle over the simulator's EPC ground truth,
+    because its *capability* — not its radio mechanics — is what the
+    history attack consumes.  Using it marks the attack as "no longer
+    entirely passive", which experiments report.
+    """
+
+    def __init__(self, epc: EPC) -> None:
+        self._epc = epc
+        self.queries = 0
+
+    def resolve_tmsi(self, tmsi: int) -> Optional[str]:
+        """Resolve a TMSI to the IMSI string, as an IMSI catcher would."""
+        self.queries += 1
+        ue = self._epc.lookup_tmsi(tmsi)
+        return str(ue.imsi) if ue is not None else None
+
+    def link_handover(self, event: HandoverEvent,
+                      mappers: Dict[str, "IdentityMapper"]) -> Optional[int]:
+        """Carry a victim's identity across a handover.
+
+        Looks up the TMSI bound to the source C-RNTI in the source
+        cell's mapper and installs the binding for the new C-RNTI in the
+        target cell's mapper.  Returns the TMSI if linked.
+        """
+        self.queries += 1
+        source = mappers.get(event.source_cell)
+        target = mappers.get(event.target_cell)
+        if source is None or target is None:
+            return None
+        tmsi = source.tmsi_for(event.source_crnti,
+                               to_seconds(event.time_us) - 1e-9)
+        if tmsi is None:
+            tmsi = source.tmsi_for(event.source_crnti)
+        if tmsi is None:
+            return None
+        target.register_handover_binding(event.target_crnti, tmsi,
+                                         to_seconds(event.time_us))
+        return tmsi

@@ -1,0 +1,142 @@
+"""OWL-style online RNTI tracker (Bui & Widmer, ATC'16; paper §III-E ❶).
+
+The paper "collect[s] and maintain[s] a list of active RNTIs using
+open-source software OWL which identifies UEs within a given cell".
+The tracker consumes the blind-decoded record stream and decides which
+RNTIs are *real* active users versus decode noise:
+
+* a candidate RNTI is **confirmed** once it appears at least
+  ``confirm_threshold`` times within ``confirm_window_s`` — corrupted
+  captures produce uniformly random 16-bit values, so repeats at the
+  same value are overwhelmingly genuine;
+* a confirmed RNTI **expires** after ``expiry_s`` without traffic,
+  reflecting RRC release (the eNB will reassign it eventually).
+
+It also listens to the control feed: a ``RandomAccessResponse`` names a
+just-assigned temporary C-RNTI, which is immediately trusted (this is
+how OWL bootstraps quickly after connection setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..lte.identifiers import is_crnti
+from ..lte.rrc import (ControlMessage, RandomAccessResponse,
+                       RRCConnectionRelease)
+from ..lte.sim import to_seconds
+from .trace import TraceRecord
+
+
+@dataclass
+class _Candidate:
+    first_seen_s: float
+    last_seen_s: float
+    hits: int = 1
+
+
+@dataclass
+class RNTIActivity:
+    """Lifetime summary of one confirmed RNTI."""
+
+    rnti: int
+    confirmed_s: float
+    last_seen_s: float
+    records: int = 0
+    expired: bool = field(default=False)
+
+
+class OWLTracker:
+    """Maintains the set of active (confirmed) C-RNTIs in a cell."""
+
+    def __init__(self, confirm_threshold: int = 3,
+                 confirm_window_s: float = 1.0,
+                 expiry_s: float = 12.0) -> None:
+        if confirm_threshold < 1:
+            raise ValueError(
+                f"confirm_threshold must be >= 1: {confirm_threshold}")
+        self._threshold = confirm_threshold
+        self._window_s = confirm_window_s
+        self._expiry_s = expiry_s
+        self._candidates: Dict[int, _Candidate] = {}
+        self._active: Dict[int, RNTIActivity] = {}
+        self._history: List[RNTIActivity] = []
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def on_record(self, record: TraceRecord) -> None:
+        """Feed one blind-decoded DCI record."""
+        now = record.time_s
+        self._expire_stale(now)
+        rnti = record.rnti
+        if not is_crnti(rnti):
+            return
+        activity = self._active.get(rnti)
+        if activity is not None:
+            activity.last_seen_s = now
+            activity.records += 1
+            return
+        candidate = self._candidates.get(rnti)
+        if candidate is None or now - candidate.first_seen_s > self._window_s:
+            self._candidates[rnti] = _Candidate(first_seen_s=now,
+                                                last_seen_s=now)
+            candidate = self._candidates[rnti]
+        else:
+            candidate.hits += 1
+            candidate.last_seen_s = now
+        if candidate.hits >= self._threshold:
+            self._confirm(rnti, now)
+
+    def on_control(self, message: ControlMessage) -> None:
+        """Feed one control-plane message."""
+        if isinstance(message, RandomAccessResponse):
+            now = to_seconds(message.time_us)
+            self._expire_stale(now)
+            if is_crnti(message.temp_crnti):
+                self._confirm(message.temp_crnti, now)
+        elif isinstance(message, RRCConnectionRelease):
+            self._retire(message.crnti, to_seconds(message.time_us))
+
+    # -- internals ------------------------------------------------------------------
+
+    def _confirm(self, rnti: int, now: float) -> None:
+        if rnti in self._active:
+            self._active[rnti].last_seen_s = now
+            return
+        self._candidates.pop(rnti, None)
+        self._active[rnti] = RNTIActivity(rnti=rnti, confirmed_s=now,
+                                          last_seen_s=now)
+
+    def _retire(self, rnti: int, now: float) -> None:
+        activity = self._active.pop(rnti, None)
+        if activity is not None:
+            activity.expired = True
+            activity.last_seen_s = now
+            self._history.append(activity)
+
+    def _expire_stale(self, now: float) -> None:
+        stale = [rnti for rnti, activity in self._active.items()
+                 if now - activity.last_seen_s > self._expiry_s]
+        for rnti in stale:
+            self._retire(rnti, now)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def active_rntis(self) -> Set[int]:
+        """Currently-confirmed RNTIs."""
+        return set(self._active)
+
+    def is_active(self, rnti: int) -> bool:
+        return rnti in self._active
+
+    def activity(self, rnti: int) -> Optional[RNTIActivity]:
+        return self._active.get(rnti)
+
+    def history(self) -> List[RNTIActivity]:
+        """Expired activities, in retirement order."""
+        return list(self._history)
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self._candidates)

@@ -1,0 +1,225 @@
+"""Trace containers: what the sniffer records and the pipeline consumes.
+
+A *trace* is the paper's unit of data: the time-ordered sequence of
+decoded DCI metadata for one user — ``(timestamp, RNTI, direction,
+frame size)`` — as extracted by their customised srsLTE ``pdsch_ue``
+(§V, Table II).  Traces carry metadata (app label, operator, cell, day)
+used for training-set construction, and persist to CSV/JSONL so
+datasets survive across runs, mirroring the paper's released dataset.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..lte.dci import Direction
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One decoded DCI: the 4-tuple of radio metadata the attack uses."""
+
+    time_s: float
+    rnti: int
+    direction: Direction
+    tbs_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be >= 0: {self.time_s}")
+        if self.tbs_bytes < 0:
+            raise ValueError(f"tbs_bytes must be >= 0: {self.tbs_bytes}")
+
+
+@dataclass
+class Trace:
+    """A time-ordered sequence of records for one user plus metadata."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+    label: Optional[str] = None          # app name (ground truth / prediction)
+    category: Optional[str] = None       # app category name
+    operator: Optional[str] = None       # environment (Lab / Verizon / ...)
+    cell: Optional[str] = None           # cell zone the capture came from
+    day: int = 0                         # simulated capture day
+    user: Optional[str] = None           # UE name / tracking handle
+
+    def append(self, record: TraceRecord) -> None:
+        if self.records and record.time_s < self.records[-1].time_s:
+            raise ValueError("records must be appended in time order")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def start_s(self) -> float:
+        return self.records[0].time_s if self.records else 0.0
+
+    @property
+    def end_s(self) -> float:
+        return self.records[-1].time_s if self.records else 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s if self.records else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.tbs_bytes for r in self.records)
+
+    def direction_filtered(self, direction: Direction) -> "Trace":
+        """A copy containing only one link direction (Table III columns)."""
+        subset = [r for r in self.records if r.direction is direction]
+        return self._with_records(subset)
+
+    def time_sliced(self, start_s: float, end_s: float) -> "Trace":
+        """A copy containing records with ``start_s <= t < end_s``."""
+        subset = [r for r in self.records if start_s <= r.time_s < end_s]
+        return self._with_records(subset)
+
+    def rnti_filtered(self, rntis: Iterable[int]) -> "Trace":
+        """A copy containing only records for the given RNTIs.
+
+        This is the IRB-mandated filtering step of the paper's ethics
+        section: keep only traffic belonging to the experimenters' UEs.
+        """
+        wanted = set(rntis)
+        subset = [r for r in self.records if r.rnti in wanted]
+        return self._with_records(subset)
+
+    def rebased(self) -> "Trace":
+        """A copy with time shifted so the first record is at t=0."""
+        if not self.records:
+            return self._with_records([])
+        base = self.records[0].time_s
+        subset = [TraceRecord(r.time_s - base, r.rnti, r.direction,
+                              r.tbs_bytes) for r in self.records]
+        return self._with_records(subset)
+
+    def _with_records(self, records: List[TraceRecord]) -> "Trace":
+        return Trace(records=records, label=self.label, category=self.category,
+                     operator=self.operator, cell=self.cell, day=self.day,
+                     user=self.user)
+
+    def interarrival_times(self) -> List[float]:
+        """Gaps between consecutive records (the Table II time vector)."""
+        return [b.time_s - a.time_s
+                for a, b in zip(self.records, self.records[1:])]
+
+    # -- persistence --------------------------------------------------------------
+
+    _CSV_FIELDS = ("time_s", "rnti", "direction", "tbs_bytes")
+
+    def to_csv(self, path: Path) -> None:
+        """Write records as CSV with a JSON metadata header comment."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            handle.write(f"# {json.dumps(self.metadata())}\n")
+            writer = csv.writer(handle)
+            writer.writerow(self._CSV_FIELDS)
+            for record in self.records:
+                writer.writerow((f"{record.time_s:.6f}", record.rnti,
+                                 int(record.direction), record.tbs_bytes))
+
+    @classmethod
+    def from_csv(cls, path: Path) -> "Trace":
+        """Read a trace previously written by :meth:`to_csv`."""
+        path = Path(path)
+        with path.open() as handle:
+            first = handle.readline()
+            metadata = json.loads(first[1:]) if first.startswith("#") else {}
+            if not first.startswith("#"):
+                handle.seek(0)
+            reader = csv.DictReader(handle)
+            records = [TraceRecord(time_s=float(row["time_s"]),
+                                   rnti=int(row["rnti"]),
+                                   direction=Direction(int(row["direction"])),
+                                   tbs_bytes=int(row["tbs_bytes"]))
+                       for row in reader]
+        trace = cls(records=records)
+        trace.apply_metadata(metadata)
+        return trace
+
+    def to_jsonl(self, path: Path) -> None:
+        """Write metadata line + one JSON object per record."""
+        path = Path(path)
+        with path.open("w") as handle:
+            handle.write(json.dumps({"meta": self.metadata()}) + "\n")
+            for record in self.records:
+                handle.write(json.dumps({
+                    "t": round(record.time_s, 6), "rnti": record.rnti,
+                    "dir": int(record.direction), "tbs": record.tbs_bytes,
+                }) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: Path) -> "Trace":
+        """Read a trace previously written by :meth:`to_jsonl`."""
+        path = Path(path)
+        trace = cls()
+        with path.open() as handle:
+            for line in handle:
+                obj = json.loads(line)
+                if "meta" in obj:
+                    trace.apply_metadata(obj["meta"])
+                    continue
+                trace.append(TraceRecord(time_s=obj["t"], rnti=obj["rnti"],
+                                         direction=Direction(obj["dir"]),
+                                         tbs_bytes=obj["tbs"]))
+        return trace
+
+    def metadata(self) -> Dict:
+        return {"label": self.label, "category": self.category,
+                "operator": self.operator, "cell": self.cell,
+                "day": self.day, "user": self.user}
+
+    def apply_metadata(self, metadata: Dict) -> None:
+        self.label = metadata.get("label")
+        self.category = metadata.get("category")
+        self.operator = metadata.get("operator")
+        self.cell = metadata.get("cell")
+        self.day = int(metadata.get("day", 0) or 0)
+        self.user = metadata.get("user")
+
+
+class TraceSet:
+    """A collection of traces (a dataset) with directory persistence."""
+
+    def __init__(self, traces: Optional[List[Trace]] = None) -> None:
+        self.traces: List[Trace] = traces or []
+
+    def add(self, trace: Trace) -> None:
+        self.traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)
+
+    def labels(self) -> List[str]:
+        return sorted({t.label for t in self.traces if t.label is not None})
+
+    def by_label(self, label: str) -> List[Trace]:
+        return [t for t in self.traces if t.label == label]
+
+    def save(self, directory: Path) -> None:
+        """Persist every trace as ``trace_NNNN.csv`` in ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for index, trace in enumerate(self.traces):
+            trace.to_csv(directory / f"trace_{index:04d}.csv")
+
+    @classmethod
+    def load(cls, directory: Path) -> "TraceSet":
+        """Load every ``trace_*.csv`` from ``directory``."""
+        directory = Path(directory)
+        traces = [Trace.from_csv(path)
+                  for path in sorted(directory.glob("trace_*.csv"))]
+        return cls(traces)

@@ -1,0 +1,128 @@
+"""Tests for background-noise models and conversation pairs."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.apps import (BackgroundApp, BackgroundMix, background_pool,
+                        FacebookCall, Skype, WhatsApp, WhatsAppCall,
+                        make_call_pair, make_chat_pair)
+from repro.apps.background import BACKGROUND_POOL, BackgroundParams
+from repro.lte.dci import Direction
+
+
+def sample(model, count, seed=1):
+    return list(itertools.islice(model.session(random.Random(seed)), count))
+
+
+class TestBackgroundApp:
+    def test_pool_has_ten_behaviours(self):
+        assert len(BACKGROUND_POOL) == 10
+        assert len(background_pool()) == 10
+
+    def test_app_generates_valid_events(self):
+        app = BackgroundApp("bg-test", BackgroundParams(5.0, 0.5, 10_000.0,
+                                                        0.5, 0.3))
+        for event in sample(app, 100):
+            assert event.size_bytes > 0
+            assert event.gap_us >= 0
+
+    def test_uplink_probability_respected(self):
+        app = BackgroundApp("bg-up", BackgroundParams(1.0, 0.1, 1_000.0,
+                                                      0.1, 1.0))
+        events = sample(app, 100)
+        assert all(e.direction is Direction.UPLINK for e in events)
+
+    def test_on_day_drifts(self):
+        app = background_pool()[0]
+        assert app.on_day(10).params != app.params
+
+
+class TestBackgroundMix:
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundMix(count=0)
+        with pytest.raises(ValueError):
+            BackgroundMix(count=11)
+
+    def test_mix_merges_in_time_order(self):
+        mix = BackgroundMix(count=5, seed=1)
+        events = sample(mix, 200)
+        # Gaps are non-negative by construction; the merged stream must
+        # deliver all component apps' events.
+        assert len(events) == 200
+        assert all(e.gap_us >= 0 for e in events)
+
+    def test_more_apps_more_traffic(self):
+        def volume(count):
+            events = sample(BackgroundMix(count=count, seed=3), 150, seed=4)
+            duration = sum(e.gap_us for e in events) / 1e6
+            return sum(e.size_bytes for e in events) / duration
+
+        assert volume(10) > volume(2)
+
+    def test_seed_selects_stable_subset(self):
+        a = BackgroundMix(count=4, seed=9)
+        b = BackgroundMix(count=4, seed=9)
+        assert [x.name for x in a._apps] == [x.name for x in b._apps]
+
+
+class TestChatPairs:
+    def test_mirrored_directions(self):
+        sender, receiver = make_chat_pair(WhatsApp, seed=5)
+        sender_events = sample(sender, 30, seed=1)
+        receiver_events = sample(receiver, 30, seed=2)
+        for mine, theirs in zip(sender_events, receiver_events):
+            assert mine.direction != theirs.direction
+
+    def test_sizes_track_each_other(self):
+        sender, receiver = make_chat_pair(WhatsApp, seed=5)
+        sender_events = sample(sender, 30, seed=1)
+        receiver_events = sample(receiver, 30, seed=2)
+        for mine, theirs in zip(sender_events, receiver_events):
+            assert abs(mine.size_bytes - theirs.size_bytes) \
+                <= 0.05 * mine.size_bytes + 32
+
+    def test_legs_share_app_identity(self):
+        sender, receiver = make_chat_pair(WhatsApp, seed=5)
+        assert sender.name == receiver.name == "WhatsApp"
+
+    def test_relay_jitter_perturbs_timing(self):
+        _, steady = make_chat_pair(WhatsApp, seed=5, relay_jitter_s=0.0)
+        _, jittery = make_chat_pair(WhatsApp, seed=5, relay_jitter_s=1.0)
+        steady_gaps = [e.gap_us for e in sample(steady, 20, seed=3)]
+        jitter_gaps = [e.gap_us for e in sample(jittery, 20, seed=3)]
+        assert steady_gaps != jitter_gaps
+
+
+class TestCallPairs:
+    @pytest.mark.parametrize("app_cls", [FacebookCall, WhatsAppCall, Skype])
+    def test_legs_talk_in_complementary_directions(self, app_cls):
+        caller, callee = make_call_pair(app_cls, seed=11)
+        caller_events = sample(caller, 2_000, seed=1)
+        callee_events = sample(callee, 2_000, seed=2)
+
+        def uplink_volume_first_seconds(events, horizon_s=3.0):
+            elapsed, up = 0.0, 0
+            for event in events:
+                elapsed += event.gap_us / 1e6
+                if elapsed > horizon_s:
+                    break
+                if event.direction is Direction.UPLINK:
+                    up += event.size_bytes
+            return up
+
+        caller_up = uplink_volume_first_seconds(caller_events)
+        callee_up = uplink_volume_first_seconds(callee_events)
+        # One side is talking first: its uplink dominates the other's
+        # (comfort noise and RTCP keep the quiet side non-zero).
+        assert max(caller_up, callee_up) > 2 * max(1, min(caller_up,
+                                                          callee_up))
+
+    def test_far_jitter_changes_spell_lengths(self):
+        _, callee_a = make_call_pair(Skype, seed=11, far_jitter_s=0.0)
+        _, callee_b = make_call_pair(Skype, seed=11, far_jitter_s=2.0)
+        events_a = sample(callee_a, 500, seed=1)
+        events_b = sample(callee_b, 500, seed=1)
+        assert events_a != events_b

@@ -1,0 +1,93 @@
+"""Tests for app-parameter drift (the §VIII-A time effect)."""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import app_names, drift_params, make_app
+
+
+@dataclasses.dataclass(frozen=True)
+class _Params:
+    size: float = 100.0
+    interval: float = 2.0
+    count: int = 5          # non-float: must never drift
+
+
+class TestDriftParams:
+    def test_day_zero_is_identity(self):
+        drifted = drift_params(_Params(), day=0, rate=0.1)
+        assert drifted == _Params()
+
+    def test_zero_rate_is_identity(self):
+        drifted = drift_params(_Params(), day=10, rate=0.0)
+        assert drifted == _Params()
+
+    def test_non_float_fields_untouched(self):
+        drifted = drift_params(_Params(), day=10, rate=0.1)
+        assert drifted.count == 5
+
+    def test_deterministic_per_salt(self):
+        first = drift_params(_Params(), day=5, rate=0.1, salt="app-a")
+        second = drift_params(_Params(), day=5, rate=0.1, salt="app-a")
+        assert first == second
+
+    def test_salt_changes_drift(self):
+        a = drift_params(_Params(), day=5, rate=0.1, salt="app-a")
+        b = drift_params(_Params(), day=5, rate=0.1, salt="app-b")
+        assert a != b
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            drift_params(_Params(), day=-1, rate=0.1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            drift_params(_Params(), day=1, rate=-0.1)
+
+    def test_divergence_grows_with_day(self):
+        """Day 10's params are farther from day 0 than day 2's."""
+        def distance(day):
+            drifted = drift_params(_Params(), day=day, rate=0.05, salt="x")
+            return abs(math.log(drifted.size / 100.0))
+
+        assert distance(10) > distance(2)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=30),
+           st.floats(min_value=0.01, max_value=0.2))
+    def test_property_drift_keeps_values_positive(self, day, rate):
+        drifted = drift_params(_Params(), day=day, rate=rate, salt="p")
+        assert drifted.size > 0
+        assert drifted.interval > 0
+
+
+class TestModelDrift:
+    @pytest.mark.parametrize("name", app_names())
+    def test_day_changes_parameters(self, name):
+        base = make_app(name, day=0)
+        later = make_app(name, day=10)
+        assert base.params != later.params
+
+    @pytest.mark.parametrize("name", app_names())
+    def test_same_day_same_parameters(self, name):
+        assert make_app(name, day=6).params == make_app(name, day=6).params
+
+    def test_apps_drift_independently(self):
+        netflix0, netflix7 = make_app("Netflix", 0), make_app("Netflix", 7)
+        youtube0, youtube7 = make_app("YouTube", 0), make_app("YouTube", 7)
+        netflix_factor = (netflix7.params.segment_bytes
+                          / netflix0.params.segment_bytes)
+        youtube_factor = (youtube7.params.segment_bytes
+                          / youtube0.params.segment_bytes)
+        assert netflix_factor != pytest.approx(youtube_factor)
+
+    def test_on_day_returns_drifted_copy(self):
+        base = make_app("Skype")
+        future = base.on_day(5)
+        assert future.day == 5
+        assert type(future) is type(base)
+        assert future.params != base.params

@@ -1,0 +1,150 @@
+"""Tests for the nine app traffic models and their catalog."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.apps import (APP_CATEGORIES, AppCategory, app_names,
+                        apps_in_category, category_of, make_app)
+from repro.lte.dci import Direction
+
+
+def sample_events(model, count=300, seed=1):
+    return list(itertools.islice(model.session(random.Random(seed)), count))
+
+
+def rate_bytes_per_s(events):
+    total = sum(e.size_bytes for e in events)
+    duration = sum(e.gap_us for e in events) / 1e6
+    return total / duration if duration > 0 else float("inf")
+
+
+class TestCatalog:
+    def test_nine_apps(self):
+        assert len(app_names()) == 9
+
+    def test_three_per_category(self):
+        for category in AppCategory:
+            assert len(apps_in_category(category)) == 3
+
+    def test_every_app_categorised(self):
+        assert set(app_names()) == set(APP_CATEGORIES)
+
+    def test_make_app_unknown(self):
+        with pytest.raises(ValueError):
+            make_app("TikTok")
+
+    def test_category_of_unknown(self):
+        with pytest.raises(ValueError):
+            category_of("TikTok")
+
+    def test_model_spec_matches_registry(self):
+        for name in app_names():
+            model = make_app(name)
+            assert model.name == name
+            assert model.category is category_of(name)
+
+
+class TestEventValidity:
+    @pytest.mark.parametrize("name", app_names())
+    def test_events_have_positive_sizes_and_gaps(self, name):
+        for event in sample_events(make_app(name), 200):
+            assert event.size_bytes > 0
+            assert event.gap_us >= 0
+
+    @pytest.mark.parametrize("name", app_names())
+    def test_generator_is_unbounded(self, name):
+        events = sample_events(make_app(name), 500)
+        assert len(events) == 500
+
+    @pytest.mark.parametrize("name", app_names())
+    def test_sessions_are_seed_deterministic(self, name):
+        first = sample_events(make_app(name), 50, seed=7)
+        second = sample_events(make_app(name), 50, seed=7)
+        assert first == second
+
+    @pytest.mark.parametrize("name", app_names())
+    def test_different_seeds_differ(self, name):
+        first = sample_events(make_app(name), 50, seed=7)
+        second = sample_events(make_app(name), 50, seed=8)
+        assert first != second
+
+
+class TestCategorySignatures:
+    """The pilot-study observations (§IV-B) hold for the models."""
+
+    def test_streaming_is_downlink_dominant(self):
+        for name in apps_in_category(AppCategory.STREAMING):
+            events = sample_events(make_app(name), 300)
+            down = sum(e.size_bytes for e in events
+                       if e.direction is Direction.DOWNLINK)
+            up = sum(e.size_bytes for e in events
+                     if e.direction is Direction.UPLINK)
+            assert down > 10 * up, name
+
+    def test_voip_is_roughly_bidirectional(self):
+        """'The only class with a significant and similar amount of
+        data transmitted in both directions.'"""
+        for name in apps_in_category(AppCategory.VOIP):
+            events = sample_events(make_app(name), 3_000)
+            down = sum(e.size_bytes for e in events
+                       if e.direction is Direction.DOWNLINK)
+            up = sum(e.size_bytes for e in events
+                     if e.direction is Direction.UPLINK)
+            ratio = min(down, up) / max(down, up)
+            assert ratio > 0.3, f"{name}: up/down ratio {ratio:.2f}"
+
+    def test_messaging_has_long_gaps(self):
+        """IM gaps occasionally exceed the 10 s RRC inactivity timer."""
+        for name in apps_in_category(AppCategory.MESSAGING):
+            events = sample_events(make_app(name), 2_000)
+            max_gap_s = max(e.gap_us for e in events) / 1e6
+            assert max_gap_s > 10.0, name
+
+    def test_voip_is_continuous(self):
+        """VoIP never goes quiet long enough to drop the RRC connection."""
+        for name in apps_in_category(AppCategory.VOIP):
+            events = sample_events(make_app(name), 3_000)
+            max_gap_s = max(e.gap_us for e in events) / 1e6
+            assert max_gap_s < 5.0, name
+
+    def test_streaming_rate_is_video_scale(self):
+        """Streaming sustains Mbps-scale rates (after startup burst)."""
+        for name in apps_in_category(AppCategory.STREAMING):
+            events = sample_events(make_app(name), 100)
+            assert rate_bytes_per_s(events) > 100_000, name
+
+    def test_messaging_rate_is_modest(self):
+        for name in apps_in_category(AppCategory.MESSAGING):
+            events = sample_events(make_app(name), 500)
+            assert rate_bytes_per_s(events) < 100_000, name
+
+    def test_streaming_starts_with_buffering_burst(self):
+        """'Much more radio resources at the beginning of each session.'"""
+        for name in apps_in_category(AppCategory.STREAMING):
+            events = sample_events(make_app(name), 60)
+            startup = sum(e.size_bytes for e in events[:10])
+            assert startup > 1_000_000, name
+
+    def test_netflix_intervals_longer_than_youtube(self):
+        """'Intervals between traffic bursts are relatively long' for
+        Netflix vs YouTube's 'much shorter intervals'."""
+        def median_gap(name):
+            events = sample_events(make_app(name), 200)[20:]
+            gaps = sorted(e.gap_us for e in events
+                          if e.direction is Direction.DOWNLINK)
+            return gaps[len(gaps) // 2]
+
+        assert median_gap("Netflix") > median_gap("YouTube")
+
+    def test_voip_pacing_differs_between_apps(self):
+        """Codec packet times are the intra-category signature."""
+        def typical_gap(name):
+            events = sample_events(make_app(name), 1_000)
+            gaps = sorted(e.gap_us for e in events if e.gap_us > 0)
+            return gaps[len(gaps) // 2]
+
+        gaps = {name: typical_gap(name)
+                for name in apps_in_category(AppCategory.VOIP)}
+        assert len(set(gaps.values())) == 3, gaps

@@ -1,0 +1,230 @@
+"""Tests for the correlation attack, cost model, and drift utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (PAIR_FEATURE_NAMES, CorrelationAttack,
+                                    optimal_time_window, precision_recall)
+from repro.core.costmodel import (AttackScenario, AttackerCostModel,
+                                  UnitCosts, deployment_cost_usd)
+from repro.core.dataset import collect_pair, collect_trace
+from repro.core.drift import (DriftPoint, RetrainingPolicy,
+                              days_until_below, decay_summary)
+from repro.operators import LAB
+from repro.sniffer.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def call_pairs():
+    positives = [collect_pair("Skype", "call", operator=LAB,
+                              duration_s=20.0, seed=100 + i)
+                 for i in range(3)]
+    negatives = []
+    for i in range(3):
+        left, _ = collect_pair("Skype", "call", operator=LAB,
+                               duration_s=20.0, seed=200 + i)
+        right, _ = collect_pair("Skype", "call", operator=LAB,
+                                duration_s=20.0, seed=300 + i)
+        negatives.append((left, right))
+    return positives, negatives
+
+
+class TestCorrelationAttack:
+    def test_bin_validation(self):
+        with pytest.raises(ValueError):
+            CorrelationAttack(bin_s=0)
+
+    def test_pair_features_shape(self, call_pairs):
+        positives, _ = call_pairs
+        attack = CorrelationAttack()
+        score = attack.score_pair(*positives[0])
+        assert score.features.shape == (len(PAIR_FEATURE_NAMES),)
+        assert 0.0 <= score.similarity <= 1.0
+
+    def test_empty_traces_score_zero(self):
+        attack = CorrelationAttack()
+        score = attack.score_pair(Trace(), Trace())
+        assert score.similarity == 0.0
+
+    def test_communicating_pairs_score_higher(self, call_pairs):
+        positives, negatives = call_pairs
+        attack = CorrelationAttack()
+        pos_mean = np.mean([attack.similarity(a, b) for a, b in positives])
+        neg_mean = np.mean([attack.similarity(a, b) for a, b in negatives])
+        assert pos_mean > neg_mean + 0.1
+
+    def test_similarity_symmetricish(self, call_pairs):
+        """Swapping pair order preserves the verdict-relevant scale."""
+        positives, _ = call_pairs
+        a, b = positives[0]
+        attack = CorrelationAttack()
+        forward = attack.similarity(a, b)
+        backward = attack.similarity(b, a)
+        assert forward == pytest.approx(backward, abs=0.15)
+
+    def test_fit_and_predict(self, call_pairs):
+        positives, negatives = call_pairs
+        attack = CorrelationAttack()
+        attack.fit(positives[:2], negatives[:2])
+        assert attack.is_fitted
+        predictions = attack.predict_pairs([positives[2], negatives[2]])
+        assert list(predictions) == [1, 0]
+        scores = attack.decision_scores([positives[2], negatives[2]])
+        assert scores[0] > scores[1]
+
+    def test_fit_requires_both_classes(self, call_pairs):
+        positives, negatives = call_pairs
+        with pytest.raises(ValueError):
+            CorrelationAttack().fit(positives, [])
+
+    def test_predict_requires_fit(self, call_pairs):
+        positives, _ = call_pairs
+        with pytest.raises(RuntimeError):
+            CorrelationAttack().predict_pairs(positives)
+
+    def test_optimal_time_window_sweep(self, call_pairs):
+        positives, _ = call_pairs
+        best, curve = optimal_time_window(*positives[0],
+                                          candidates=(0.5, 1.0, 2.0))
+        assert best in (0.5, 1.0, 2.0)
+        assert len(curve) == 3
+
+
+class TestPrecisionRecall:
+    def test_hand_computed(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        precision, recall = precision_recall(y_true, y_pred)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        precision, recall = precision_recall(np.array([1, 0]),
+                                             np.array([0, 0]))
+        assert precision == 0.0
+        assert recall == 0.0
+
+    def test_perfect(self):
+        y = np.array([1, 0, 1])
+        assert precision_recall(y, y) == (1.0, 1.0)
+
+
+class TestCostModel:
+    def test_training_instances_formula(self):
+        scenario = AttackScenario(apps_to_train=9, versions_per_app=2,
+                                  instances_per_app=10)
+        assert scenario.training_instances == 180
+
+    def test_test_instances_formula(self):
+        scenario = AttackScenario(victims=4, apps_per_victim=3)
+        assert scenario.test_instances == 12
+
+    def test_eq2_composition(self):
+        units = UnitCosts(collect_per_instance=2.0,
+                          feature_per_instance=0.5,
+                          train_per_instance=0.25,
+                          classify_per_instance=0.1)
+        scenario = AttackScenario(apps_to_train=2, versions_per_app=1,
+                                  instances_per_app=5, victims=1,
+                                  apps_per_victim=2)
+        model = AttackerCostModel(scenario, units)
+        # A_n = 10: collect 20, train 10*(0.5+0.25)=7.5,
+        # T_d = 2: identify 2*(2+0.5+0.1)=5.2.
+        assert model.collecting_cost() == 20.0
+        assert model.training_cost() == 7.5
+        assert model.identification_cost() == pytest.approx(5.2)
+        assert model.performance_cost() == pytest.approx(32.7)
+
+    def test_eq3_retraining_branch(self):
+        model = AttackerCostModel(AttackScenario(drift_period_days=7))
+        below = model.total_cost(measured_performance=0.5, horizon_days=14)
+        above = model.total_cost(measured_performance=0.9, horizon_days=14)
+        assert below == pytest.approx(above + 2 * model.retraining_cost())
+
+    def test_daily_retraining_amortisation(self):
+        model = AttackerCostModel(AttackScenario(drift_period_days=10))
+        assert model.daily_retraining_cost() == pytest.approx(
+            model.retraining_cost() / 10)
+
+    def test_breakdown_keys(self):
+        breakdown = AttackerCostModel(AttackScenario()).breakdown()
+        assert set(breakdown) == {"collecting", "training",
+                                  "identification", "performance_total",
+                                  "retraining_once", "retraining_daily"}
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            AttackScenario(apps_to_train=0)
+        with pytest.raises(ValueError):
+            AttackScenario(performance_threshold=0.0)
+
+    def test_unit_cost_validation(self):
+        with pytest.raises(ValueError):
+            UnitCosts(collect_per_instance=-1.0)
+
+    def test_negative_horizon_rejected(self):
+        model = AttackerCostModel(AttackScenario())
+        with pytest.raises(ValueError):
+            model.total_cost(0.5, horizon_days=-1)
+
+    def test_deployment_cost(self):
+        assert deployment_cost_usd(3, per_sniffer_usd=750.0,
+                                   compute_usd=1500.0) == 3750.0
+        with pytest.raises(ValueError):
+            deployment_cost_usd(0)
+
+
+class TestDriftUtilities:
+    def curve(self, values):
+        return [DriftPoint(day=i + 1, f_score=v)
+                for i, v in enumerate(values)]
+
+    def test_days_until_below(self):
+        points = self.curve([0.9, 0.8, 0.65, 0.5])
+        assert days_until_below(points, threshold=0.7) == 3
+
+    def test_days_until_below_never(self):
+        assert days_until_below(self.curve([0.9, 0.85]), 0.7) is None
+
+    def test_decay_summary(self):
+        initial, final = decay_summary(self.curve([0.9, 0.7, 0.5]))
+        assert initial == 0.9
+        assert final == 0.5
+
+    def test_decay_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            decay_summary([])
+
+    def test_policy_schedules_retrains(self):
+        policy = RetrainingPolicy(threshold=0.7)
+        points = self.curve([0.9, 0.8, 0.6, 0.6, 0.6, 0.6])
+        schedule = policy.schedule(points)
+        assert schedule
+        assert all(1 <= day <= 6 for day in schedule)
+
+    def test_policy_no_retrain_above_threshold(self):
+        policy = RetrainingPolicy(threshold=0.5)
+        assert policy.retrain_count(self.curve([0.9, 0.8, 0.7])) == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetrainingPolicy(threshold=0.0)
+
+    def test_empty_curve_schedule(self):
+        assert RetrainingPolicy().schedule([]) == []
+
+
+class TestTraceSimilarityAcrossApps:
+    def test_low_volume_apps_score_lower(self):
+        """Paper: 'apps generating lower volumes of traffic usually had
+        low similarity scores' — messaging below VoIP."""
+        attack = CorrelationAttack()
+        voip = [collect_pair("Skype", "call", operator=LAB,
+                             duration_s=20.0, seed=500 + i)
+                for i in range(3)]
+        chat = [collect_pair("WhatsApp", "chat", operator=LAB,
+                             duration_s=20.0, seed=600 + i)
+                for i in range(3)]
+        voip_mean = np.mean([attack.similarity(a, b) for a, b in voip])
+        chat_mean = np.mean([attack.similarity(a, b) for a, b in chat])
+        assert voip_mean > chat_mean - 0.2   # VoIP at least comparable

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Netflix" in out
+        assert "T-Mobile" in out
+        assert "table3" in out
+
+    def test_collect_then_train_then_classify(self, tmp_path, capsys):
+        data = tmp_path / "traces"
+        assert main(["collect", "--out", str(data), "--apps", "YouTube",
+                     "Skype", "--traces", "2", "--duration", "12",
+                     "--seed", "3"]) == 0
+        assert len(list(data.glob("trace_*.csv"))) == 4
+
+        assert main(["train", "--data", str(data), "--trees", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "f-score" in out
+
+        target = sorted(data.glob("trace_*.csv"))[0]
+        assert main(["classify", "--data", str(data), "--trace",
+                     str(target), "--trees", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+
+    def test_collect_with_operator(self, tmp_path):
+        data = tmp_path / "tm"
+        assert main(["collect", "--out", str(data), "--apps", "Skype",
+                     "--traces", "1", "--duration", "8",
+                     "--operator", "T-Mobile"]) == 0
+        assert len(list(data.glob("trace_*.csv"))) == 1
+
+    def test_train_empty_dir_fails(self, tmp_path):
+        assert main(["train", "--data", str(tmp_path)]) == 1
+
+    def test_classify_empty_dir_fails(self, tmp_path):
+        missing = tmp_path / "none"
+        missing.mkdir()
+        assert main(["classify", "--data", str(missing), "--trace",
+                     str(tmp_path / "x.csv")]) == 1
+
+    def test_unknown_experiment_fails(self):
+        assert main(["experiment", "tableX"]) == 1
+
+    def test_bad_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

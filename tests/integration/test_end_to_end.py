@@ -1,0 +1,218 @@
+"""Integration tests: the full attack pipeline across modules.
+
+These mirror the paper's evaluation at miniature scale and assert the
+*shape* of its results: lab fingerprinting works, carriers degrade it,
+history reconstruction succeeds, correlation separates communicating
+pairs, and the known failure modes (noise, drift) appear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import app_names, apps_in_category, AppCategory
+from repro.core.correlation import CorrelationAttack
+from repro.core.dataset import (collect_pair, collect_trace, collect_traces,
+                                windows_from_traces)
+from repro.core.fingerprint import HierarchicalFingerprinter
+from repro.core.history import HistoryAttack, ZoneVisit, evaluate_findings
+from repro.ml.metrics import accuracy, macro_f_score
+from repro.operators import LAB, TMOBILE
+
+
+@pytest.fixture(scope="module")
+def lab_model():
+    """A model trained on a small lab campaign over all nine apps."""
+    train = collect_traces(list(app_names()), operator=LAB,
+                           traces_per_app=3, duration_s=25.0, seed=201)
+    windows = windows_from_traces(train)
+    model = HierarchicalFingerprinter(n_trees=16, seed=1).fit(windows)
+    return model, windows
+
+
+class TestFingerprintingPipeline:
+    def test_lab_window_accuracy(self, lab_model):
+        model, windows = lab_model
+        test = collect_traces(list(app_names()), operator=LAB,
+                              traces_per_app=1, duration_s=25.0, seed=999)
+        test_windows = windows_from_traces(
+            test, app_encoder=windows.app_encoder,
+            category_encoder=windows.category_encoder)
+        predictions = model.predict_apps(test_windows.X)
+        assert accuracy(test_windows.app_labels, predictions) > 0.6
+
+    def test_lab_category_accuracy_higher_than_app(self, lab_model):
+        model, windows = lab_model
+        test = collect_traces(list(app_names()), operator=LAB,
+                              traces_per_app=1, duration_s=25.0, seed=998)
+        test_windows = windows_from_traces(
+            test, app_encoder=windows.app_encoder,
+            category_encoder=windows.category_encoder)
+        app_acc = accuracy(test_windows.app_labels,
+                           model.predict_apps(test_windows.X))
+        cat_acc = accuracy(test_windows.category_labels,
+                           model.predict_categories(test_windows.X))
+        assert cat_acc >= app_acc
+        assert cat_acc > 0.85
+
+    def test_trace_verdicts_mostly_correct(self, lab_model):
+        model, _ = lab_model
+        correct = 0
+        probes = ["Netflix", "WhatsApp", "Skype", "YouTube",
+                  "Facebook Call"]
+        for index, app in enumerate(probes):
+            trace = collect_trace(app, operator=LAB, duration_s=25.0,
+                                  seed=3_000 + index)
+            verdict = model.classify_trace(trace)
+            correct += verdict.app == app
+        assert correct >= 4
+
+    def test_carrier_harder_than_lab(self):
+        """Train/test per environment; T-Mobile F should trail Lab."""
+        def campaign_f(operator, seed):
+            train = collect_traces(list(app_names()), operator=operator,
+                                   traces_per_app=3, duration_s=25.0,
+                                   seed=seed)
+            test = collect_traces(list(app_names()), operator=operator,
+                                  traces_per_app=1, duration_s=25.0,
+                                  seed=seed + 5_000)
+            windows = windows_from_traces(train)
+            test_windows = windows_from_traces(
+                test, app_encoder=windows.app_encoder,
+                category_encoder=windows.category_encoder)
+            model = HierarchicalFingerprinter(n_trees=16, seed=1)
+            model.fit(windows)
+            return macro_f_score(test_windows.app_labels,
+                                 model.predict_apps(test_windows.X),
+                                 n_classes=9)
+
+        lab_f = campaign_f(LAB, seed=301)
+        carrier_f = campaign_f(TMOBILE, seed=302)
+        assert lab_f > carrier_f - 0.05   # lab at least on par
+        assert carrier_f > 0.4            # but carrier still usable
+
+
+class TestNoiseDegradation:
+    def test_background_noise_hurts(self, lab_model):
+        model, windows = lab_model
+        target = "YouTube"
+        target_id = windows.app_encoder.transform([target])[0]
+
+        def f_with_noise(background):
+            test = collect_traces([target], operator=LAB,
+                                  traces_per_app=2, duration_s=25.0,
+                                  seed=7_000 + background,
+                                  background_count=background)
+            test_windows = windows_from_traces(
+                test, app_encoder=windows.app_encoder,
+                category_encoder=windows.category_encoder)
+            predictions = model.predict_apps(test_windows.X)
+            hits = predictions == target_id
+            truth = test_windows.app_labels == target_id
+            return float(np.mean(hits[truth]))
+
+        assert f_with_noise(0) > f_with_noise(10) - 0.05
+
+
+class TestHistoryAttackEndToEnd:
+    def test_three_zone_day(self, lab_model):
+        model, _ = lab_model
+        attack = HistoryAttack(model, operator=LAB, episode_gap_s=25.0)
+        visits = [ZoneVisit("A", "YouTube", 2.0, 30.0),
+                  ZoneVisit("B", "Skype", 70.0, 30.0),
+                  ZoneVisit("C", "Telegram", 140.0, 30.0)]
+        findings = attack.run(visits, seed=11)
+        summary = evaluate_findings(findings, visits)
+        assert summary["detected"] == 3
+        assert summary["correct"] >= 2
+        assert summary["category_accuracy"] >= 2 / 3
+
+
+class TestCorrelationEndToEnd:
+    def test_detects_communicating_pair_among_population(self):
+        attack = CorrelationAttack()
+        positives = [collect_pair("Facebook Call", "call", operator=LAB,
+                                  duration_s=20.0, seed=800 + i)
+                     for i in range(3)]
+        negatives = []
+        for i in range(3):
+            left, _ = collect_pair("Facebook Call", "call", operator=LAB,
+                                   duration_s=20.0, seed=900 + i)
+            right, _ = collect_pair("Facebook Call", "call", operator=LAB,
+                                    duration_s=20.0, seed=950 + i)
+            negatives.append((left, right))
+        attack.fit(positives[:2], negatives[:2])
+        scores = attack.decision_scores([positives[2], negatives[2]])
+        assert scores[0] > scores[1]
+
+
+class TestFailureInjection:
+    def test_heavy_capture_loss_still_classifiable(self, lab_model):
+        """50 % capture loss thins the trace but category survives."""
+        import dataclasses
+
+        model, _ = lab_model
+        lossy = dataclasses.replace(
+            LAB, capture_channel=dataclasses.replace(
+                LAB.capture_channel, capture_loss=0.5))
+        trace = collect_trace("Skype", operator=lossy, duration_s=25.0,
+                              seed=42)
+        verdict = model.classify_trace(trace)
+        assert verdict is not None
+        assert verdict.category == "voip"
+
+    def test_midsession_handover_splits_but_preserves_user(self):
+        """Records survive a handover under the same user identity."""
+        from repro.lte.network import LTENetwork
+        from repro.sniffer.capture import CellSniffer
+        from repro.apps import make_app
+
+        network = LTENetwork(seed=55)
+        network.add_cell("east")
+        network.add_cell("west")
+        ue = network.add_ue(cell_id="east")
+        east = CellSniffer("east").attach(network)
+        west = CellSniffer("west").attach(network)
+        network.start_app_session(ue, make_app("Skype"), start_s=0.5,
+                                  duration_s=20.0, session_seed=1)
+        network.clock.schedule(10_000_000,
+                               lambda: network.move_ue(ue, "west"))
+        network.run_for(25.0)
+        east_trace = east.trace_for_tmsi(ue.tmsi)
+        assert len(east_trace) > 0
+        # The west sniffer saw traffic under the post-handover RNTI.
+        assert west.total_records > 0
+
+    def test_drift_degrades_day1_model(self):
+        apps = apps_in_category(AppCategory.STREAMING)
+        train = collect_traces(apps, operator=TMOBILE, traces_per_app=3,
+                               duration_s=20.0, seed=61, day=1)
+        windows = windows_from_traces(train)
+        model = HierarchicalFingerprinter(n_trees=12, seed=1).fit(windows)
+
+        def f_on_day(day):
+            test = collect_traces(apps, operator=TMOBILE,
+                                  traces_per_app=2, duration_s=20.0,
+                                  seed=62 + day, day=day)
+            test_windows = windows_from_traces(
+                test, app_encoder=windows.app_encoder,
+                category_encoder=windows.category_encoder)
+            return macro_f_score(test_windows.app_labels,
+                                 model.predict_apps(test_windows.X),
+                                 n_classes=windows.app_encoder.n_classes)
+
+        assert f_on_day(1) > f_on_day(12) - 0.02
+
+
+class TestRetrainingMitigation:
+    def test_multiday_training_flattens_decay(self):
+        """Pooling several days of training data (the §VI retraining
+        idea) keeps late-day accuracy far above the day-1-only model."""
+        from repro.core.drift import fscore_over_days
+
+        apps = ["Netflix", "YouTube", "Amazon Prime"]
+        kwargs = dict(operator=TMOBILE, test_days=[10],
+                      traces_per_app=2, duration_s=20.0, seed=5,
+                      n_trees=12)
+        single = fscore_over_days(apps, train_day=1, **kwargs)
+        pooled = fscore_over_days(apps, train_days=[1, 4, 7], **kwargs)
+        assert pooled[0].f_score > single[0].f_score

@@ -1,0 +1,136 @@
+"""Tests for the channel model: link adaptation and capture impairments."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lte.channel import CaptureChannel, ChannelProfile, UELink
+
+
+class TestChannelProfile:
+    def test_defaults_valid(self):
+        profile = ChannelProfile()
+        assert profile.cqi_floor >= 1
+        assert profile.cqi_ceiling <= 15
+
+    def test_floor_and_ceiling_clamped(self):
+        profile = ChannelProfile(mean_cqi=14, cqi_span=5)
+        assert profile.cqi_ceiling == 15
+        profile = ChannelProfile(mean_cqi=2, cqi_span=5)
+        assert profile.cqi_floor == 1
+
+    def test_invalid_mean_cqi(self):
+        with pytest.raises(ValueError):
+            ChannelProfile(mean_cqi=0)
+        with pytest.raises(ValueError):
+            ChannelProfile(mean_cqi=16)
+
+    def test_invalid_loss(self):
+        with pytest.raises(ValueError):
+            ChannelProfile(capture_loss=1.0)
+        with pytest.raises(ValueError):
+            ChannelProfile(capture_loss=-0.1)
+
+    def test_invalid_corruption(self):
+        with pytest.raises(ValueError):
+            ChannelProfile(corruption_prob=1.5)
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelProfile(cqi_span=-1)
+
+
+class TestUELink:
+    def test_initial_cqi_in_bounds(self):
+        profile = ChannelProfile(mean_cqi=10, cqi_span=3)
+        for seed in range(20):
+            link = UELink(profile, random.Random(seed))
+            assert profile.cqi_floor <= link.cqi <= profile.cqi_ceiling
+
+    def test_walk_stays_in_bounds(self):
+        profile = ChannelProfile(mean_cqi=8, cqi_span=2, cqi_step_prob=0.9)
+        link = UELink(profile, random.Random(7))
+        for _ in range(1_000):
+            cqi = link.update()
+            assert profile.cqi_floor <= cqi <= profile.cqi_ceiling
+
+    def test_walk_moves_at_most_one_step(self):
+        profile = ChannelProfile(mean_cqi=8, cqi_span=4, cqi_step_prob=1.0)
+        link = UELink(profile, random.Random(9))
+        previous = link.cqi
+        for _ in range(200):
+            current = link.update()
+            assert abs(current - previous) <= 1
+            previous = current
+
+    def test_zero_step_prob_freezes_cqi(self):
+        profile = ChannelProfile(mean_cqi=10, cqi_span=3, cqi_step_prob=0.0)
+        link = UELink(profile, random.Random(3))
+        initial = link.cqi
+        for _ in range(100):
+            assert link.update() == initial
+
+    def test_mcs_follows_cqi(self):
+        profile = ChannelProfile(mean_cqi=10, cqi_span=0)
+        link = UELink(profile, random.Random(0))
+        assert link.current_mcs() >= 0
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=15),
+           st.integers(min_value=0, max_value=5))
+    def test_property_walk_respects_any_profile(self, mean, span):
+        profile = ChannelProfile(mean_cqi=mean, cqi_span=span,
+                                 cqi_step_prob=0.8)
+        link = UELink(profile, random.Random(42))
+        for _ in range(100):
+            cqi = link.update()
+            assert profile.cqi_floor <= cqi <= profile.cqi_ceiling
+
+
+class TestCaptureChannel:
+    def test_lossless_channel_delivers_everything(self):
+        channel = CaptureChannel(ChannelProfile(capture_loss=0.0),
+                                 random.Random(0))
+        assert all(channel.deliver() for _ in range(100))
+        assert channel.lost == 0
+        assert channel.captured == 100
+
+    def test_loss_rate_statistics(self):
+        channel = CaptureChannel(ChannelProfile(capture_loss=0.3),
+                                 random.Random(1))
+        for _ in range(10_000):
+            channel.deliver()
+        assert 0.25 < channel.loss_rate < 0.35
+
+    def test_loss_rate_empty(self):
+        channel = CaptureChannel(ChannelProfile(), random.Random(0))
+        assert channel.loss_rate == 0.0
+
+    def test_no_corruption_returns_same_object(self):
+        channel = CaptureChannel(ChannelProfile(corruption_prob=0.0),
+                                 random.Random(2))
+        payload = b"\x01\x02\x03"
+        assert channel.corrupt(payload) is payload
+
+    def test_corruption_flips_exactly_one_bit(self):
+        channel = CaptureChannel(ChannelProfile(corruption_prob=0.999),
+                                 random.Random(3))
+        payload = b"\x00\x00\x00\x00"
+        corrupted = None
+        for _ in range(50):
+            candidate = channel.corrupt(payload)
+            if candidate != payload:
+                corrupted = candidate
+                break
+        assert corrupted is not None
+        diff = [a ^ b for a, b in zip(payload, corrupted)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_corruption_counter(self):
+        channel = CaptureChannel(ChannelProfile(corruption_prob=0.999),
+                                 random.Random(4))
+        for _ in range(20):
+            channel.corrupt(b"\xaa\xbb")
+        assert channel.corrupted >= 15

@@ -1,0 +1,96 @@
+"""Tests for CRC computation and RNTI masking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lte.crc import (CRC16_MASK, crc16, crc16_check, crc24a,
+                           mask_crc_with_rnti, unmask_rnti)
+
+
+class TestCRC16:
+    def test_empty_input(self):
+        assert crc16(b"") == 0
+
+    def test_deterministic(self):
+        assert crc16(b"hello") == crc16(b"hello")
+
+    def test_different_inputs_differ(self):
+        assert crc16(b"hello") != crc16(b"hellp")
+
+    def test_fits_in_16_bits(self):
+        assert 0 <= crc16(b"\xff" * 64) <= 0xFFFF
+
+    def test_single_bit_flip_changes_crc(self):
+        data = bytearray(b"\x12\x34\x56\x78")
+        original = crc16(bytes(data))
+        data[2] ^= 0x01
+        assert crc16(bytes(data)) != original
+
+    def test_check_accepts_correct(self):
+        data = b"\xde\xad\xbe\xef"
+        assert crc16_check(data, crc16(data))
+
+    def test_check_rejects_wrong(self):
+        data = b"\xde\xad\xbe\xef"
+        assert not crc16_check(data, crc16(data) ^ 1)
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_property_always_16_bit(self, data):
+        assert 0 <= crc16(data) <= 0xFFFF
+
+
+class TestCRC24A:
+    def test_fits_in_24_bits(self):
+        assert 0 <= crc24a(b"\xff" * 64) <= 0xFFFFFF
+
+    def test_distinct_from_crc16(self):
+        data = b"transport block"
+        assert crc24a(data) != crc16(data)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_property_bit_sensitivity(self, data):
+        mutated = bytearray(data)
+        mutated[0] ^= 0x80
+        assert crc24a(bytes(mutated)) != crc24a(data)
+
+
+class TestRNTIMasking:
+    def test_mask_is_xor(self):
+        assert mask_crc_with_rnti(0x1234, 0x00FF) == 0x12CB
+
+    def test_mask_with_zero_rnti_is_identity(self):
+        assert mask_crc_with_rnti(0xABCD, 0) == 0xABCD
+
+    def test_mask_rejects_out_of_range_rnti(self):
+        with pytest.raises(ValueError):
+            mask_crc_with_rnti(0x1234, 0x1_0000)
+        with pytest.raises(ValueError):
+            mask_crc_with_rnti(0x1234, -1)
+
+    def test_unmask_recovers_rnti(self):
+        payload = b"\x01\x11\x0c\x00\x00"
+        rnti = 0x4B2D
+        masked = mask_crc_with_rnti(crc16(payload), rnti)
+        assert unmask_rnti(masked, payload) == rnti
+
+    @given(st.binary(min_size=1, max_size=32),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_property_mask_unmask_roundtrip(self, payload, rnti):
+        masked = mask_crc_with_rnti(crc16(payload), rnti)
+        assert unmask_rnti(masked, payload) == rnti
+
+    @given(st.integers(min_value=0, max_value=CRC16_MASK),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_property_masking_is_involution(self, crc, rnti):
+        assert mask_crc_with_rnti(mask_crc_with_rnti(crc, rnti), rnti) == crc
+
+    @given(st.binary(min_size=1, max_size=32),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_property_corrupted_payload_breaks_recovery(self, payload, rnti):
+        masked = mask_crc_with_rnti(crc16(payload), rnti)
+        corrupted = bytearray(payload)
+        corrupted[0] ^= 0x01
+        # Recovery from a corrupted payload yields a *different* RNTI —
+        # this is exactly the false-candidate noise OWL must filter.
+        assert unmask_rnti(masked, bytes(corrupted)) != rnti

@@ -1,0 +1,136 @@
+"""Tests for the EPC, the UE state machine, and cell/mobility types."""
+
+import random
+
+import pytest
+
+from repro.lte.cell import Cell, MobilityStep, validate_itinerary
+from repro.lte.enb import ENodeB
+from repro.lte.epc import EPC
+from repro.lte.identifiers import make_imsi
+from repro.lte.sim import SimClock
+from repro.lte.ue import UE, RRCState
+
+
+@pytest.fixture
+def epc():
+    return EPC(random.Random(0))
+
+
+def make_ue(seed=1):
+    return UE(make_imsi(random.Random(seed)), name=f"ue{seed}")
+
+
+class TestEPC:
+    def test_attach_assigns_tmsi(self, epc):
+        ue = make_ue()
+        tmsi = epc.attach(ue)
+        assert ue.tmsi == tmsi
+        assert epc.lookup_tmsi(tmsi) is ue
+        assert epc.lookup_imsi(ue.imsi) is ue
+        assert epc.subscriber_count == 1
+
+    def test_double_attach_rejected(self, epc):
+        ue = make_ue()
+        epc.attach(ue)
+        with pytest.raises(RuntimeError):
+            epc.attach(ue)
+
+    def test_detach_clears_registry(self, epc):
+        ue = make_ue()
+        tmsi = epc.attach(ue)
+        epc.detach(ue)
+        assert ue.tmsi is None
+        assert epc.lookup_tmsi(tmsi) is None
+        assert epc.subscriber_count == 0
+
+    def test_detach_unknown_is_noop(self, epc):
+        epc.detach(make_ue())
+        assert epc.subscriber_count == 0
+
+    def test_tmsi_reallocation(self, epc):
+        ue = make_ue()
+        old = epc.attach(ue)
+        new = epc.reallocate_tmsi(ue)
+        assert new != old
+        assert ue.tmsi == new
+        assert epc.lookup_tmsi(old) is None
+        assert epc.lookup_tmsi(new) is ue
+
+    def test_reallocate_requires_attach(self, epc):
+        with pytest.raises(RuntimeError):
+            epc.reallocate_tmsi(make_ue())
+
+    def test_distinct_ues_distinct_tmsis(self, epc):
+        tmsis = {epc.attach(make_ue(seed)) for seed in range(20)}
+        assert len(tmsis) == 20
+
+
+class TestUEStateMachine:
+    def test_initial_state(self):
+        ue = make_ue()
+        assert ue.rrc_state is RRCState.IDLE
+        assert ue.rnti is None
+        assert not ue.is_connected
+
+    def test_connect_release_cycle(self):
+        ue = make_ue()
+        ue.on_attach(0x1234)
+        ue.on_connected(1000, "cell-a", 0x2000)
+        assert ue.is_connected
+        assert ue.serving_cell == "cell-a"
+        assert ue.rnti_history == [(1000, "cell-a", 0x2000)]
+        ue.on_released()
+        assert not ue.is_connected
+        assert ue.rnti is None
+        assert ue.tmsi == 0x1234   # TMSI survives RRC release
+
+    def test_rnti_history_accumulates(self):
+        ue = make_ue()
+        ue.on_connected(1, "a", 10)
+        ue.on_released()
+        ue.on_connected(2, "b", 20)
+        assert [entry[2] for entry in ue.rnti_history] == [10, 20]
+
+    def test_cell_reselect_requires_idle(self):
+        ue = make_ue()
+        ue.on_connected(1, "a", 10)
+        with pytest.raises(RuntimeError):
+            ue.on_cell_reselect("b")
+        ue.on_released()
+        ue.on_cell_reselect("b")
+        assert ue.serving_cell == "b"
+
+    def test_repr_covers_both_states(self):
+        ue = make_ue()
+        assert "idle" in repr(ue)
+        ue.on_connected(1, "a", 0x1000)
+        assert "0x1000" in repr(ue)
+
+
+class TestCell:
+    def test_cell_id_must_match_enb(self):
+        enb = ENodeB("north", SimClock(), random.Random(0))
+        with pytest.raises(ValueError):
+            Cell(cell_id="south", enb=enb)
+        cell = Cell(cell_id="north", enb=enb, description="downtown")
+        assert cell.description == "downtown"
+
+
+class TestMobility:
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            MobilityStep(at_s=-1.0, target_cell="a")
+
+    def test_itinerary_must_be_increasing(self):
+        steps = [MobilityStep(1.0, "a"), MobilityStep(1.0, "b")]
+        with pytest.raises(ValueError):
+            validate_itinerary(steps, {"a", "b"})
+
+    def test_itinerary_unknown_cell(self):
+        with pytest.raises(ValueError):
+            validate_itinerary([MobilityStep(1.0, "z")], {"a"})
+
+    def test_valid_itinerary(self):
+        steps = [MobilityStep(1.0, "a"), MobilityStep(2.0, "b")]
+        validate_itinerary(steps, {"a", "b"})

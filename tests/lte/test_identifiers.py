@@ -1,0 +1,122 @@
+"""Tests for RNTI/TMSI/IMSI identifier spaces and allocators."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lte.identifiers import (CRNTI_MAX, CRNTI_MIN, IMSI, P_RNTI,
+                                   SI_RNTI, RNTIAllocator,
+                                   SubscriberIdentity, TMSIAllocator,
+                                   is_crnti, make_imsi)
+
+
+class TestIMSI:
+    def test_valid_imsi_two_digit_mnc(self):
+        imsi = IMSI(mcc="310", mnc="26", msin="0123456789")
+        assert str(imsi) == "310260123456789"
+        assert len(str(imsi)) == 15
+
+    def test_valid_imsi_three_digit_mnc(self):
+        imsi = IMSI("310", "410", "987654321")
+        assert str(imsi) == "310410987654321"
+        assert len(str(imsi)) == 15
+
+    def test_invalid_mcc(self):
+        with pytest.raises(ValueError):
+            IMSI("31", "260", "0123456789")
+        with pytest.raises(ValueError):
+            IMSI("31a", "260", "0123456789")
+
+    def test_invalid_mnc(self):
+        with pytest.raises(ValueError):
+            IMSI("310", "2", "0123456789")
+
+    def test_invalid_msin(self):
+        with pytest.raises(ValueError):
+            IMSI("310", "260", "123")
+        with pytest.raises(ValueError):
+            IMSI("310", "260", "0123456789")  # 16 digits total
+
+    def test_make_imsi_valid_and_seeded(self):
+        a = make_imsi(random.Random(1))
+        b = make_imsi(random.Random(1))
+        assert str(a) == str(b)
+        assert len(str(a)) == 15
+
+
+class TestRNTIRanges:
+    def test_reserved_values_not_crnti(self):
+        assert not is_crnti(P_RNTI)
+        assert not is_crnti(SI_RNTI)
+        assert not is_crnti(0x0001)     # RA-RNTI range
+
+    def test_crnti_bounds(self):
+        assert is_crnti(CRNTI_MIN)
+        assert is_crnti(CRNTI_MAX)
+        assert not is_crnti(CRNTI_MIN - 1)
+        assert not is_crnti(CRNTI_MAX + 1)
+
+
+class TestRNTIAllocator:
+    def test_allocations_unique(self):
+        allocator = RNTIAllocator(random.Random(0))
+        seen = {allocator.allocate() for _ in range(500)}
+        assert len(seen) == 500
+
+    def test_allocations_in_crnti_range(self):
+        allocator = RNTIAllocator(random.Random(1))
+        for _ in range(100):
+            assert is_crnti(allocator.allocate())
+
+    def test_release_allows_reuse(self):
+        allocator = RNTIAllocator(random.Random(2))
+        rnti = allocator.allocate()
+        assert allocator.in_use(rnti)
+        allocator.release(rnti)
+        assert not allocator.in_use(rnti)
+
+    def test_release_is_idempotent(self):
+        allocator = RNTIAllocator(random.Random(3))
+        rnti = allocator.allocate()
+        allocator.release(rnti)
+        allocator.release(rnti)
+        assert allocator.active_count == 0
+
+    def test_active_count(self):
+        allocator = RNTIAllocator(random.Random(4))
+        rntis = [allocator.allocate() for _ in range(10)]
+        assert allocator.active_count == 10
+        allocator.release(rntis[0])
+        assert allocator.active_count == 9
+
+
+class TestTMSIAllocator:
+    def test_unique(self):
+        allocator = TMSIAllocator(random.Random(0))
+        seen = {allocator.allocate() for _ in range(200)}
+        assert len(seen) == 200
+
+    def test_32_bit(self):
+        allocator = TMSIAllocator(random.Random(1))
+        for _ in range(50):
+            assert 0 <= allocator.allocate() <= 0xFFFFFFFF
+
+    def test_release(self):
+        allocator = TMSIAllocator(random.Random(2))
+        tmsi = allocator.allocate()
+        allocator.release(tmsi)
+        assert not allocator.in_use(tmsi)
+
+
+class TestSubscriberIdentity:
+    def test_radio_visible_requires_rnti(self):
+        identity = SubscriberIdentity(imsi=make_imsi(random.Random(0)))
+        assert not identity.radio_visible()
+        identity.rnti = 0x1000
+        assert identity.radio_visible()
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_property_is_crnti_matches_bounds(self, rnti):
+        assert is_crnti(rnti) == (CRNTI_MIN <= rnti <= CRNTI_MAX)

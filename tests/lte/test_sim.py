@@ -1,0 +1,156 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lte.sim import (SECOND_US, TTI_US, SimClock, milliseconds,
+                           seconds, to_seconds)
+
+
+class TestConversions:
+    def test_seconds_round_trip(self):
+        assert to_seconds(seconds(1.5)) == pytest.approx(1.5)
+
+    def test_seconds_is_integer_microseconds(self):
+        assert seconds(0.001) == 1_000
+        assert seconds(1) == SECOND_US
+
+    def test_milliseconds(self):
+        assert milliseconds(1) == 1_000
+        assert milliseconds(0.5) == 500
+
+    def test_tti_is_one_millisecond(self):
+        assert TTI_US == 1_000
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0
+
+    def test_custom_start(self):
+        assert SimClock(start_us=500).now_us == 500
+
+    def test_schedule_and_step(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(100, lambda: fired.append(clock.now_us))
+        assert clock.step()
+        assert fired == [100]
+        assert clock.now_us == 100
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert not SimClock().step()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-1, lambda: None)
+
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(300, lambda: order.append(3))
+        clock.schedule(100, lambda: order.append(1))
+        clock.schedule(200, lambda: order.append(2))
+        clock.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_events_fire_fifo(self):
+        clock = SimClock()
+        order = []
+        for tag in range(5):
+            clock.schedule(50, lambda t=tag: order.append(t))
+        clock.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_event_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        clock.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        clock = SimClock()
+        handle = clock.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_run_until_stops_at_boundary(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(100, lambda: fired.append("a"))
+        clock.schedule(200, lambda: fired.append("b"))
+        clock.run_until(150)
+        assert fired == ["a"]
+        assert clock.now_us == 150
+
+    def test_run_until_inclusive_of_boundary_event(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(150, lambda: fired.append("x"))
+        clock.run_until(150)
+        assert fired == ["x"]
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        clock = SimClock()
+        clock.run_until(1_000)
+        assert clock.now_us == 1_000
+
+    def test_events_scheduled_during_run_fire(self):
+        clock = SimClock()
+        fired = []
+
+        def chain():
+            fired.append(clock.now_us)
+            if len(fired) < 3:
+                clock.schedule(10, chain)
+
+        clock.schedule(10, chain)
+        clock.run_until(1_000)
+        assert fired == [10, 20, 30]
+
+    def test_schedule_at_absolute_time(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_at(500, lambda: fired.append(clock.now_us))
+        clock.run()
+        assert fired == [500]
+
+    def test_pending_count_excludes_cancelled(self):
+        clock = SimClock()
+        clock.schedule(10, lambda: None)
+        handle = clock.schedule(20, lambda: None)
+        handle.cancel()
+        assert clock.pending_count() == 1
+
+    def test_peek_next_time_skips_cancelled(self):
+        clock = SimClock()
+        first = clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        first.cancel()
+        assert clock.peek_next_time() == 20
+
+    def test_now_s_property(self):
+        clock = SimClock(start_us=2_500_000)
+        assert clock.now_s == pytest.approx(2.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=50))
+    def test_property_fire_order_is_sorted(self, delays):
+        clock = SimClock()
+        fired = []
+        for delay in delays:
+            clock.schedule(delay, lambda d=delay: fired.append(d))
+        clock.run()
+        assert fired == sorted(delays)
+        assert len(fired) == len(delays)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_property_run_until_clock_monotone(self, end):
+        clock = SimClock()
+        clock.run_until(end)
+        assert clock.now_us == end

@@ -1,0 +1,144 @@
+"""Tests for the TS 36.213 transport-block-size reconstruction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lte.tbs import (MAX_MCS, MAX_PRB, N_ITBS, cqi_to_mcs,
+                           grant_for_bytes, mcs_modulation_order,
+                           mcs_to_itbs, transport_block_bytes,
+                           transport_block_size)
+
+
+class TestTBSTable:
+    def test_corner_minimum(self):
+        assert transport_block_size(0, 1) == 16
+
+    def test_corner_maximum(self):
+        assert transport_block_size(N_ITBS - 1, MAX_PRB) == 75376
+
+    def test_byte_aligned(self):
+        for i_tbs in (0, 10, 26):
+            for n_prb in (1, 25, 110):
+                assert transport_block_size(i_tbs, n_prb) % 8 == 0
+
+    def test_bytes_helper(self):
+        assert (transport_block_bytes(5, 10)
+                == transport_block_size(5, 10) // 8)
+
+    def test_out_of_range_itbs(self):
+        with pytest.raises(ValueError):
+            transport_block_size(N_ITBS, 1)
+        with pytest.raises(ValueError):
+            transport_block_size(-1, 1)
+
+    def test_out_of_range_prb(self):
+        with pytest.raises(ValueError):
+            transport_block_size(0, 0)
+        with pytest.raises(ValueError):
+            transport_block_size(0, MAX_PRB + 1)
+
+    @given(st.integers(min_value=0, max_value=N_ITBS - 1),
+           st.integers(min_value=1, max_value=MAX_PRB - 1))
+    def test_property_monotone_in_prb(self, i_tbs, n_prb):
+        assert (transport_block_size(i_tbs, n_prb + 1)
+                >= transport_block_size(i_tbs, n_prb))
+
+    @given(st.integers(min_value=0, max_value=N_ITBS - 2),
+           st.integers(min_value=1, max_value=MAX_PRB))
+    def test_property_monotone_in_itbs(self, i_tbs, n_prb):
+        assert (transport_block_size(i_tbs + 1, n_prb)
+                >= transport_block_size(i_tbs, n_prb))
+
+    def test_streaming_range_matches_paper(self):
+        """10 MHz cell, high MCS: TBS per TTI lands in the paper's
+        observed 0-4000 B frame-size range."""
+        tbs = transport_block_bytes(mcs_to_itbs(25), 50)
+        assert 2_000 <= tbs <= 6_000
+
+
+class TestMCSLadder:
+    def test_mcs_range(self):
+        assert MAX_MCS == 28
+
+    def test_itbs_mapping_boundaries(self):
+        assert mcs_to_itbs(0) == 0
+        assert mcs_to_itbs(9) == 9
+        assert mcs_to_itbs(10) == 9     # 16QAM restart
+        assert mcs_to_itbs(17) == 15    # 64QAM restart
+        assert mcs_to_itbs(28) == 26
+
+    def test_modulation_orders(self):
+        assert mcs_modulation_order(0) == 2
+        assert mcs_modulation_order(10) == 4
+        assert mcs_modulation_order(17) == 6
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            mcs_to_itbs(29)
+        with pytest.raises(ValueError):
+            mcs_modulation_order(-1)
+
+    @given(st.integers(min_value=0, max_value=MAX_MCS - 1))
+    def test_property_itbs_monotone_in_mcs(self, mcs):
+        assert mcs_to_itbs(mcs + 1) >= mcs_to_itbs(mcs)
+
+
+class TestCQIMapping:
+    def test_bounds(self):
+        assert cqi_to_mcs(0) == 0
+        assert cqi_to_mcs(15) == 28
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            cqi_to_mcs(16)
+        with pytest.raises(ValueError):
+            cqi_to_mcs(-1)
+
+    @given(st.integers(min_value=0, max_value=14))
+    def test_property_monotone(self, cqi):
+        assert cqi_to_mcs(cqi + 1) >= cqi_to_mcs(cqi)
+
+
+class TestGrantForBytes:
+    def test_small_payload_single_prb(self):
+        n_prb, tbs = grant_for_bytes(1, mcs=10, max_prb=50)
+        assert n_prb == 1
+        assert tbs >= 1
+
+    def test_grant_covers_backlog_when_possible(self):
+        n_prb, tbs = grant_for_bytes(1_000, mcs=20, max_prb=110)
+        assert tbs >= 1_000
+
+    def test_grant_is_minimal(self):
+        n_prb, tbs = grant_for_bytes(1_000, mcs=20, max_prb=110)
+        if n_prb > 1:
+            smaller = transport_block_bytes(mcs_to_itbs(20), n_prb - 1)
+            assert smaller < 1_000
+
+    def test_saturates_at_max_prb(self):
+        n_prb, tbs = grant_for_bytes(10**9, mcs=28, max_prb=50)
+        assert n_prb == 50
+        assert tbs == transport_block_bytes(26, 50)
+
+    def test_rejects_nonpositive_backlog(self):
+        with pytest.raises(ValueError):
+            grant_for_bytes(0, mcs=10, max_prb=50)
+
+    def test_rejects_bad_max_prb(self):
+        with pytest.raises(ValueError):
+            grant_for_bytes(100, mcs=10, max_prb=0)
+
+    @given(st.integers(min_value=1, max_value=200_000),
+           st.integers(min_value=0, max_value=MAX_MCS),
+           st.integers(min_value=1, max_value=MAX_PRB))
+    def test_property_grant_valid_and_tight(self, backlog, mcs, max_prb):
+        n_prb, tbs = grant_for_bytes(backlog, mcs, max_prb)
+        assert 1 <= n_prb <= max_prb
+        assert tbs == transport_block_bytes(mcs_to_itbs(mcs), n_prb)
+        # Either the grant covers the backlog, or it saturated max_prb.
+        assert tbs >= backlog or n_prb == max_prb
+        # Minimality: one fewer PRB would not have covered the backlog.
+        if n_prb > 1 and tbs >= backlog:
+            assert transport_block_bytes(mcs_to_itbs(mcs),
+                                         n_prb - 1) < backlog

@@ -1,0 +1,176 @@
+"""Tests for logistic regression, kNN, and the CNN."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNearestNeighbors
+from repro.ml.logistic import (BinaryLogisticRegression, LogisticRegression,
+                               softmax)
+from repro.ml.metrics import accuracy
+from repro.ml.neural import ConvNet
+
+
+def blobs(n_per_class=50, k=3, d=12, spread=0.7, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(2.5 * klass, spread, (n_per_class, d))
+                   for klass in range(k)])
+    y = np.repeat(np.arange(k), n_per_class)
+    order = rng.permutation(len(X))
+    return X[order], y[order]
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]])
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_numerically_stable_for_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_order_preserved(self):
+        probs = softmax(np.array([[1.0, 3.0, 2.0]]))
+        assert probs[0].argmax() == 1
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        X, y = blobs()
+        model = LogisticRegression(epochs=200).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_loss_decreases(self):
+        X, y = blobs()
+        model = LogisticRegression(epochs=100).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_stronger_regularisation_shrinks_weights(self):
+        X, y = blobs(spread=1.5)
+        loose = LogisticRegression(C=100.0, epochs=300).fit(X, y)
+        tight = LogisticRegression(C=0.001, epochs=300).fit(X, y)
+        assert (np.abs(tight.weights_[:-1]).sum()
+                < np.abs(loose.weights_[:-1]).sum())
+
+    def test_proba_shape_and_normalisation(self):
+        X, y = blobs(k=4)
+        proba = LogisticRegression(epochs=50).fit(X, y).predict_proba(X)
+        assert proba.shape == (len(X), 4)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(epochs=0)
+
+
+class TestBinaryLogistic:
+    def test_decision_scores_and_threshold(self):
+        X, y = blobs(k=2)
+        model = BinaryLogisticRegression(epochs=200).fit(X, y)
+        scores = model.decision_scores(X)
+        assert ((scores >= 0) & (scores <= 1)).all()
+        strict = BinaryLogisticRegression(threshold=0.99, epochs=200)
+        strict.fit(X, y)
+        lax_positives = model.predict(X).sum()
+        strict_positives = strict.predict(X).sum()
+        assert strict_positives <= lax_positives
+
+    def test_rejects_nonbinary_labels(self):
+        X, y = blobs(k=3)
+        with pytest.raises(ValueError):
+            BinaryLogisticRegression().fit(X, y)
+
+    def test_rejects_single_class(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            BinaryLogisticRegression().fit(X, np.zeros(4, dtype=np.int64))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            BinaryLogisticRegression(threshold=1.0)
+
+
+class TestKNN:
+    def test_exact_neighbours_on_crafted_data(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNearestNeighbors(k=2).fit(X, y)
+        assert model.predict(np.array([[0.5]]))[0] == 0
+        assert model.predict(np.array([[10.5]]))[0] == 1
+
+    def test_learns_blobs(self):
+        X, y = blobs()
+        model = KNearestNeighbors(k=4).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_k_larger_than_train_rejected(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=10).fit(np.zeros((3, 2)),
+                                        np.array([0, 1, 0]))
+
+    def test_chunking_equivalent_to_single_pass(self):
+        X, y = blobs(n_per_class=40)
+        chunked = KNearestNeighbors(k=3, chunk_size=7).fit(X, y)
+        whole = KNearestNeighbors(k=3, chunk_size=10_000).fit(X, y)
+        assert (chunked.predict(X) == whole.predict(X)).all()
+
+    def test_comparison_counter(self):
+        X, y = blobs(n_per_class=10, k=2)
+        model = KNearestNeighbors(k=1).fit(X, y)
+        model.predict(X[:5])
+        assert model.last_query_comparisons == 5 * len(X)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+        with pytest.raises(ValueError):
+            KNearestNeighbors(chunk_size=0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            KNearestNeighbors().predict(np.zeros((1, 2)))
+
+
+class TestConvNet:
+    def test_learns_separable_data(self):
+        X, y = blobs(n_per_class=60)
+        model = ConvNet(epochs=40, seed=0).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9
+
+    def test_loss_decreases(self):
+        X, y = blobs()
+        model = ConvNet(epochs=20, seed=0).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_proba_normalised(self):
+        X, y = blobs(k=4)
+        proba = ConvNet(epochs=5, seed=0).fit(X, y).predict_proba(X)
+        assert proba.shape == (len(X), 4)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        X, y = blobs(n_per_class=20)
+        a = ConvNet(epochs=3, seed=4).fit(X, y).predict_proba(X)
+        b = ConvNet(epochs=3, seed=4).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_too_few_features_rejected(self):
+        X = np.zeros((10, 3))
+        y = np.array([0, 1] * 5)
+        with pytest.raises(ValueError):
+            ConvNet(kernel=3).fit(X, y)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            ConvNet(kernel=1)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            ConvNet().predict(np.zeros((1, 12)))

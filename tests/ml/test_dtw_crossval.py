@@ -1,0 +1,196 @@
+"""Tests for DTW and the cross-validation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ml.dtw import (dtw_alignment, dtw_distance, dtw_path_length,
+                          similarity_score)
+from repro.ml.crossval import (cross_validate, k_fold_indices,
+                               train_test_split, tune_knn_k)
+from repro.ml.knn import KNearestNeighbors
+
+series = npst.arrays(np.float64, st.integers(min_value=1, max_value=25),
+                     elements=st.floats(min_value=-50, max_value=50,
+                                        allow_nan=False))
+
+
+class TestDTWDistance:
+    def test_identity_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert dtw_distance(a, a) == 0.0
+
+    def test_hand_computed_example(self):
+        # Classic small example: [1,2,3] vs [2,2,2,3,4].
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([2.0, 2.0, 2.0, 3.0, 4.0])
+        # Optimal path: |1-2| + 0 + 0 + 0 + |3-4| = 2.
+        assert dtw_distance(a, b) == pytest.approx(2.0)
+
+    def test_constant_shift(self):
+        a = np.zeros(4)
+        b = np.ones(4)
+        assert dtw_distance(a, b) == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.ones(3), np.ones(3), window=-1)
+
+    def test_window_never_decreases_distance(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(0, 1, 30), rng.normal(0, 1, 30)
+        unconstrained = dtw_distance(a, b)
+        banded = dtw_distance(a, b, window=2)
+        assert banded >= unconstrained - 1e-9
+
+    def test_warping_beats_euclidean_for_shifted_series(self):
+        a = np.sin(np.linspace(0, 6, 50))
+        b = np.sin(np.linspace(0.4, 6.4, 50))
+        euclidean = float(np.abs(a - b).sum())
+        assert dtw_distance(a, b) < euclidean
+
+    @settings(max_examples=40)
+    @given(series, series)
+    def test_property_symmetry(self, a, b):
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    @settings(max_examples=40)
+    @given(series)
+    def test_property_self_distance_zero(self, a):
+        assert dtw_distance(a, a) == pytest.approx(0.0)
+
+    @settings(max_examples=40)
+    @given(series, series)
+    def test_property_non_negative(self, a, b):
+        assert dtw_distance(a, b) >= 0.0
+
+
+class TestSimilarityScore:
+    def test_identical_scores_one(self):
+        a = np.array([5.0, 3.0, 8.0])
+        assert similarity_score(a, a) == 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a = rng.uniform(0, 100, rng.integers(2, 30))
+            b = rng.uniform(0, 100, rng.integers(2, 30))
+            assert 0.0 < similarity_score(a, b) <= 1.0
+
+    def test_zero_series_edge_cases(self):
+        zero = np.zeros(5)
+        assert similarity_score(zero, zero) == 1.0
+        assert similarity_score(zero, np.ones(5)) < 1.0
+
+    def test_similar_beats_dissimilar(self):
+        base = np.sin(np.linspace(0, 6, 60))
+        near = np.sin(np.linspace(0.1, 6.1, 60))
+        noise = np.random.default_rng(2).normal(0, 1, 60)
+        assert (similarity_score(base, near)
+                > similarity_score(base, noise))
+
+    def test_scale_invariant_normalisation(self):
+        """Similarity is comparable across traffic-volume scales."""
+        small_a, small_b = np.array([1.0, 2.0, 1.0]), np.array([1.0, 2.2, 1.0])
+        big_a, big_b = small_a * 1e6, small_b * 1e6
+        assert similarity_score(small_a, small_b) == pytest.approx(
+            similarity_score(big_a, big_b), rel=1e-6)
+
+
+class TestAlignment:
+    def test_path_endpoints(self):
+        a, b = np.array([1.0, 2.0]), np.array([1.0, 2.0, 2.0])
+        distance, path = dtw_alignment(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (len(a) - 1, len(b) - 1)
+
+    def test_path_steps_valid(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(0, 1, 10), rng.normal(0, 1, 12)
+        _, path = dtw_alignment(a, b)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert (i1 - i0, j1 - j0) in {(1, 0), (0, 1), (1, 1)}
+
+    def test_distance_matches_dtw_distance(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(0, 1, 15), rng.normal(0, 1, 17)
+        distance, _ = dtw_alignment(a, b)
+        assert distance == pytest.approx(dtw_distance(a, b))
+
+    def test_path_length_lower_bound(self):
+        assert dtw_path_length(5, 9) == 9
+
+
+class TestSplitting:
+    def test_split_proportions(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.repeat([0, 1], 50)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction=0.2, seed=0)
+        assert len(X_train) == 80
+        assert len(X_test) == 20
+
+    def test_stratified_preserves_ratios(self):
+        y = np.array([0] * 90 + [1] * 10)
+        X = np.zeros((100, 1))
+        _, _, y_train, y_test = train_test_split(X, y, test_fraction=0.2,
+                                                 seed=1)
+        assert (y_test == 1).sum() == 2
+        assert (y_train == 1).sum() == 8
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.repeat([0, 1], 20)
+        X_train, X_test, _, _ = train_test_split(X, y, seed=2)
+        combined = sorted(X_train.ravel().tolist()
+                          + X_test.ravel().tolist())
+        assert combined == list(range(40))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4, dtype=int),
+                             test_fraction=1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(3, dtype=int))
+
+
+class TestKFold:
+    def test_partitions_cover_everything_once(self):
+        seen = []
+        for train_idx, test_idx in k_fold_indices(20, folds=4, seed=0):
+            assert set(train_idx) & set(test_idx) == set()
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValueError):
+            list(k_fold_indices(10, folds=1))
+        with pytest.raises(ValueError):
+            list(k_fold_indices(3, folds=5))
+
+    def test_cross_validate_scores(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(0, 0.3, (30, 2)),
+                       rng.normal(3, 0.3, (30, 2))])
+        y = np.repeat([0, 1], 30)
+        scores = cross_validate(lambda: KNearestNeighbors(k=3), X, y,
+                                folds=3, seed=1)
+        assert len(scores) == 3
+        assert all(score > 0.9 for score in scores)
+
+    def test_tune_knn_returns_curve(self):
+        rng = np.random.default_rng(6)
+        X = np.vstack([rng.normal(0, 0.4, (40, 3)),
+                       rng.normal(3, 0.4, (40, 3))])
+        y = np.repeat([0, 1], 40)
+        best_k, curve = tune_knn_k(X, y, k_values=range(1, 6), folds=4)
+        assert best_k in curve
+        assert all(0.0 <= acc <= 1.0 for acc in curve.values())

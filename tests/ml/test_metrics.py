@@ -1,0 +1,126 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ml.metrics import (accuracy, classification_report,
+                              confusion_matrix, macro_f_score,
+                              per_class_scores, weighted_accuracy,
+                              weighted_f_score)
+
+label_pairs = st.integers(min_value=2, max_value=5).flatmap(
+    lambda k: st.tuples(
+        npst.arrays(np.int64, st.integers(min_value=1, max_value=60),
+                    elements=st.integers(min_value=0, max_value=k - 1)),
+        st.just(k)))
+
+
+class TestConfusionMatrix:
+    def test_known_matrix(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(y_true, y_pred)
+        expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+        assert (matrix == expected).all()
+
+    def test_rows_sum_to_class_support(self):
+        y_true = np.array([0, 1, 1, 2, 2, 2])
+        y_pred = np.array([1, 1, 0, 2, 2, 0])
+        matrix = confusion_matrix(y_true, y_pred)
+        assert list(matrix.sum(axis=1)) == [1, 2, 3]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([]), np.array([]))
+
+    def test_explicit_n_classes(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]), n_classes=4)
+        assert matrix.shape == (4, 4)
+
+
+class TestPerClassScores:
+    def test_hand_computed(self):
+        y_true = np.array([0, 0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 1, 0])
+        scores = per_class_scores(y_true, y_pred)
+        # Class 0: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F=2/3.
+        assert scores[0].precision == pytest.approx(2 / 3)
+        assert scores[0].recall == pytest.approx(2 / 3)
+        assert scores[0].f_score == pytest.approx(2 / 3)
+        assert scores[0].support == 3
+        # Class 1: tp=1 fp=1 fn=1.
+        assert scores[1].precision == pytest.approx(0.5)
+
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1])
+        for score in per_class_scores(y, y):
+            assert score.f_score == 1.0
+
+    def test_absent_class_scores_zero(self):
+        scores = per_class_scores(np.array([0, 0]), np.array([0, 0]),
+                                  n_classes=2)
+        assert scores[1].f_score == 0.0
+        assert scores[1].support == 0
+
+    @settings(max_examples=30)
+    @given(label_pairs, label_pairs)
+    def test_property_scores_bounded(self, first, second):
+        y_true, k1 = first
+        y_pred, _ = second
+        n = min(len(y_true), len(y_pred))
+        if n == 0:
+            return
+        scores = per_class_scores(y_true[:n], y_pred[:n] % k1,
+                                  n_classes=k1)
+        for score in scores:
+            assert 0.0 <= score.precision <= 1.0
+            assert 0.0 <= score.recall <= 1.0
+            assert 0.0 <= score.f_score <= 1.0
+
+
+class TestAggregates:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) \
+            == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_macro_f_perfect(self):
+        y = np.array([0, 1, 2])
+        assert macro_f_score(y, y) == 1.0
+
+    def test_weighted_f_favours_large_classes(self):
+        y_true = np.array([0] * 9 + [1])
+        y_pred = np.array([0] * 9 + [0])    # class 1 always wrong
+        weighted = weighted_f_score(y_true, y_pred)
+        macro = macro_f_score(y_true, y_pred)
+        assert weighted > macro
+
+    def test_weighted_accuracy_by_group(self):
+        # Apps 0,1 -> group 0; app 2 -> group 1.
+        y_true = np.array([0, 1, 2, 2])
+        y_pred = np.array([0, 0, 2, 1])
+        result = weighted_accuracy(y_true, y_pred, class_of=[0, 0, 1])
+        assert result[0] == pytest.approx(0.5)
+        assert result[1] == pytest.approx(0.5)
+
+    def test_weighted_accuracy_empty_group(self):
+        result = weighted_accuracy(np.array([0]), np.array([0]),
+                                   class_of=[0, 1], n_groups=2)
+        assert result[1] == 0.0
+
+    def test_classification_report_format(self):
+        report = classification_report(np.array([0, 1]), np.array([0, 1]),
+                                       ["cats", "dogs"])
+        assert "cats" in report
+        assert "accuracy" in report
+        assert "1.000" in report

@@ -1,0 +1,149 @@
+"""Tests for RNTI↔TMSI identity mapping and the IMSI-catcher oracle."""
+
+import random
+
+import pytest
+
+from repro.lte.epc import EPC
+from repro.lte.identifiers import make_imsi
+from repro.lte.rrc import (HandoverEvent, RRCConnectionRelease,
+                           RRCConnectionRequest, RRCConnectionSetup)
+from repro.lte.ue import UE
+from repro.sniffer.identity import Binding, IdentityMapper, IMSICatcher
+
+TMSI = 0xDEADBEEF
+RNTI = 0x1A2B
+
+
+def handshake(mapper, rnti=RNTI, tmsi=TMSI, time_us=1_000_000):
+    mapper.on_control(RRCConnectionRequest(time_us=time_us,
+                                           temp_crnti=rnti, s_tmsi=tmsi))
+    mapper.on_control(RRCConnectionSetup(time_us=time_us + 5_000,
+                                         crnti=rnti,
+                                         contention_resolution_id=tmsi))
+
+
+class TestBinding:
+    def test_covers_live_binding(self):
+        binding = Binding(rnti=1, tmsi=2, start_s=1.0)
+        assert binding.covers(1.0)
+        assert binding.covers(100.0)
+        assert not binding.covers(0.5)
+
+    def test_covers_closed_binding(self):
+        binding = Binding(rnti=1, tmsi=2, start_s=1.0, end_s=2.0)
+        assert binding.covers(1.5)
+        assert not binding.covers(2.0)
+
+
+class TestIdentityMapper:
+    def test_msg3_msg4_pairing_learns_binding(self):
+        mapper = IdentityMapper(cell="c0")
+        handshake(mapper)
+        assert mapper.current_rnti(TMSI) == RNTI
+        assert mapper.tmsi_for(RNTI) == TMSI
+        assert mapper.mappings_learned == 1
+
+    def test_contention_resolution_mismatch_rejected(self):
+        """Msg4 echoing a different identity means our Msg3 lost the
+        contention — no binding may be learned."""
+        mapper = IdentityMapper()
+        mapper.on_control(RRCConnectionRequest(1_000, RNTI, TMSI))
+        mapper.on_control(RRCConnectionSetup(2_000, RNTI,
+                                             contention_resolution_id=0x1))
+        assert mapper.current_rnti(TMSI) is None
+
+    def test_setup_without_request_ignored(self):
+        mapper = IdentityMapper()
+        mapper.on_control(RRCConnectionSetup(1_000, RNTI, TMSI))
+        assert mapper.tmsi_for(RNTI) is None
+
+    def test_release_closes_binding(self):
+        mapper = IdentityMapper()
+        handshake(mapper, time_us=1_000_000)
+        mapper.on_control(RRCConnectionRelease(time_us=9_000_000,
+                                               crnti=RNTI))
+        assert mapper.current_rnti(TMSI) is None
+        # Historical query still resolves inside the interval.
+        assert mapper.tmsi_for(RNTI, time_s=5.0) == TMSI
+        assert mapper.tmsi_for(RNTI, time_s=9.5) is None
+
+    def test_rnti_reuse_by_other_user(self):
+        """A recycled RNTI must map per-interval, not globally."""
+        mapper = IdentityMapper()
+        handshake(mapper, tmsi=0xAAAA, time_us=1_000_000)
+        mapper.on_control(RRCConnectionRelease(2_000_000, RNTI))
+        handshake(mapper, tmsi=0xBBBB, time_us=3_000_000)
+        assert mapper.tmsi_for(RNTI, time_s=1.5) == 0xAAAA
+        assert mapper.tmsi_for(RNTI, time_s=3.5) == 0xBBBB
+
+    def test_bindings_for_tmsi_ordered(self):
+        mapper = IdentityMapper()
+        handshake(mapper, rnti=0x1000, time_us=1_000_000)
+        mapper.on_control(RRCConnectionRelease(2_000_000, 0x1000))
+        handshake(mapper, rnti=0x2000, time_us=3_000_000)
+        assert mapper.all_rntis_for_tmsi(TMSI) == [0x1000, 0x2000]
+
+    def test_handover_closes_source_binding_passively(self):
+        mapper = IdentityMapper(cell="source")
+        handshake(mapper)
+        mapper.on_control(HandoverEvent(time_us=5_000_000,
+                                        source_cell="source",
+                                        target_cell="target",
+                                        source_crnti=RNTI,
+                                        target_crnti=0x7777))
+        assert mapper.current_rnti(TMSI) is None
+        # Passive mapper learns nothing about the target C-RNTI.
+        assert mapper.tmsi_for(0x7777) is None
+
+    def test_handover_in_other_cell_ignored(self):
+        mapper = IdentityMapper(cell="elsewhere")
+        handshake(mapper)
+        mapper.on_control(HandoverEvent(5_000_000, "source", "target",
+                                        RNTI, 0x7777))
+        assert mapper.current_rnti(TMSI) == RNTI
+
+
+class TestIMSICatcher:
+    def make_epc_ue(self):
+        epc = EPC(random.Random(0))
+        ue = UE(make_imsi(random.Random(1)))
+        epc.attach(ue)
+        return epc, ue
+
+    def test_resolve_tmsi(self):
+        epc, ue = self.make_epc_ue()
+        catcher = IMSICatcher(epc)
+        assert catcher.resolve_tmsi(ue.tmsi) == str(ue.imsi)
+        assert catcher.queries == 1
+
+    def test_resolve_unknown_tmsi(self):
+        epc, _ = self.make_epc_ue()
+        assert IMSICatcher(epc).resolve_tmsi(0x123) is None
+
+    def test_link_handover_carries_identity(self):
+        epc, ue = self.make_epc_ue()
+        catcher = IMSICatcher(epc)
+        source = IdentityMapper(cell="source")
+        target = IdentityMapper(cell="target")
+        handshake(source, rnti=RNTI, tmsi=ue.tmsi, time_us=1_000_000)
+        event = HandoverEvent(5_000_000, "source", "target", RNTI, 0x7777)
+        source.on_control(event)
+        linked = catcher.link_handover(event, {"source": source,
+                                               "target": target})
+        assert linked == ue.tmsi
+        assert target.tmsi_for(0x7777) == ue.tmsi
+
+    def test_link_handover_unknown_mapper(self):
+        epc, _ = self.make_epc_ue()
+        catcher = IMSICatcher(epc)
+        event = HandoverEvent(1, "a", "b", 1, 2)
+        assert catcher.link_handover(event, {}) is None
+
+    def test_link_handover_unknown_source_rnti(self):
+        epc, _ = self.make_epc_ue()
+        catcher = IMSICatcher(epc)
+        source, target = IdentityMapper("a"), IdentityMapper("b")
+        event = HandoverEvent(1_000_000, "a", "b", 0x9999, 0x8888)
+        assert catcher.link_handover(event, {"a": source,
+                                             "b": target}) is None
