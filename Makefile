@@ -1,0 +1,28 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-smoke clean-cache
+
+## Tier-1: full test suite (what CI runs).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Quick subset: unit layers only (skip integration + benchmarks).
+test-fast:
+	$(PYTHON) -m pytest tests/core tests/ml tests/lte tests/apps \
+		tests/sniffer tests/operators -q
+
+## Component micro-benchmarks with timing enabled (slow; writes results/).
+bench:
+	$(PYTHON) -m pytest benchmarks/test_component_speed.py -q
+
+## Smoke run of the same benchmarks with timing assertions off — catches
+## runtime-layer regressions (import errors, broken fan-out, cache bugs)
+## without slowing tier-1.  Same thing `lte-fingerprint bench` runs.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_component_speed.py -q \
+		--benchmark-disable -p no:cacheprovider
+
+## Drop every entry from the on-disk trace cache.
+clean-cache:
+	$(PYTHON) -m repro.cli cache --clear

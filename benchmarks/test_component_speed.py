@@ -10,7 +10,8 @@ import random
 
 import numpy as np
 
-from repro.core.dataset import collect_trace
+from repro import runtime
+from repro.core.dataset import collect_trace, collect_traces
 from repro.core.features import extract_features
 from repro.lte.dci import DCIFormat, DCIMessage
 from repro.ml.dtw import dtw_distance
@@ -19,12 +20,13 @@ from repro.operators import LAB
 
 
 def test_simulate_one_trace(benchmark):
-    """Simulate + sniff a 20 s YouTube session."""
+    """Simulate + sniff a 20 s YouTube session (cache off: raw simulator)."""
     counter = iter(range(10_000))
 
     def run():
-        return collect_trace("YouTube", operator=LAB, duration_s=20.0,
-                             seed=next(counter))
+        with runtime.overrides(cache_enabled=False):
+            return collect_trace("YouTube", operator=LAB, duration_s=20.0,
+                                 seed=next(counter))
 
     trace = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(trace) > 100
@@ -63,6 +65,69 @@ def test_dtw_speed(benchmark):
     b = rng.poisson(20, 120).astype(float)
     distance = benchmark(dtw_distance, a, b, 5)
     assert distance >= 0
+
+
+def test_dtw_wide_window_speed(benchmark):
+    """Unconstrained DTW takes the anti-diagonal wavefront path."""
+    rng = np.random.default_rng(1)
+    a = rng.poisson(20, 400).astype(float)
+    b = rng.poisson(20, 400).astype(float)
+    distance = benchmark(dtw_distance, a, b, None)
+    assert distance >= 0
+
+
+# -- runtime layer: fan-out and trace cache ----------------------------------------
+
+_CAMPAIGN = dict(operator=LAB, traces_per_app=2, duration_s=12.0, seed=7)
+_CAMPAIGN_APPS = ["YouTube", "WhatsApp", "Skype"]
+
+
+def test_collect_traces_serial(benchmark):
+    """Baseline for the parallel fan-out benchmark below (cache off)."""
+    def run():
+        with runtime.overrides(cache_enabled=False):
+            return collect_traces(_CAMPAIGN_APPS, workers=1, **_CAMPAIGN)
+
+    traces = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(traces) == 6
+
+
+def test_collect_traces_parallel(benchmark):
+    """Same campaign through the process backend (speedup ~ core count)."""
+    def run():
+        with runtime.overrides(cache_enabled=False):
+            return collect_traces(_CAMPAIGN_APPS, workers=2, **_CAMPAIGN)
+
+    traces = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(traces) == 6
+
+
+def test_collect_traces_warm_cache(benchmark, tmp_path):
+    """Warm-cache rerun: zero simulations, pure pickle loads."""
+    with runtime.overrides(cache_enabled=True, cache_dir=tmp_path):
+        collect_traces(_CAMPAIGN_APPS, **_CAMPAIGN)       # cold fill
+        runtime.reset_stats()
+
+        def run():
+            return collect_traces(_CAMPAIGN_APPS, **_CAMPAIGN)
+
+        traces = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert len(traces) == 6
+        assert runtime.stats().simulations == 0
+
+
+def test_forest_training_parallel(benchmark):
+    """Per-tree fan-out of the forest fit (compare test_forest_training_speed)."""
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(3 * k, 1.0, (400, 19)) for k in range(3)])
+    y = np.repeat(np.arange(3), 400)
+
+    def train():
+        return RandomForest(n_trees=10, max_depth=12, seed=1,
+                            workers=2).fit(X, y)
+
+    model = benchmark.pedantic(train, rounds=3, iterations=1)
+    assert model.n_classes_ == 3
 
 
 def test_blind_decode_speed(benchmark):

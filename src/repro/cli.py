@@ -8,7 +8,13 @@ harness:
   report held-out window scores;
 * ``classify`` — fingerprint a trace file with a freshly trained model;
 * ``experiment`` — regenerate a paper table/figure by name;
+* ``bench`` — run the component micro-benchmarks once (timings off);
+* ``cache`` — inspect or clear the on-disk trace cache;
 * ``list`` — show registered apps, operators, and experiments.
+
+Heavy commands take ``--workers`` (or ``REPRO_WORKERS``) to fan trace
+simulation / forest fitting out over processes, and ``--no-cache`` /
+``--cache-dir`` to control the on-disk trace cache.
 """
 
 from __future__ import annotations
@@ -18,8 +24,30 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import runtime
 from .apps import app_names
 from .operators import PROFILES, get_profile
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    """Worker/cache knobs shared by the simulation-heavy commands."""
+    group = parser.add_argument_group("runtime")
+    group.add_argument("--workers", type=int, default=None,
+                       help="parallel simulation/training processes "
+                            "(default: REPRO_WORKERS or 1)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk trace cache")
+    group.add_argument("--cache-dir", type=Path, default=None,
+                       help="trace cache directory "
+                            "(default: REPRO_TRACE_CACHE_DIR or XDG cache)")
+
+
+def _configure_runtime(args: argparse.Namespace) -> None:
+    """Apply --workers/--no-cache/--cache-dir to the process runtime."""
+    runtime.configure(
+        workers=getattr(args, "workers", None),
+        cache_enabled=False if getattr(args, "no_cache", False) else None,
+        cache_dir=getattr(args, "cache_dir", None))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--seed", type=int, default=0)
     collect.add_argument("--background", type=int, default=0,
                          help="number of concurrent background apps")
+    _add_runtime_args(collect)
 
     train = sub.add_parser("train", help="train + evaluate on a trace dir")
     train.add_argument("--data", type=Path, required=True,
@@ -51,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trees", type=int, default=40)
     train.add_argument("--window-ms", type=float, default=100.0)
     train.add_argument("--seed", type=int, default=1)
+    _add_runtime_args(train)
 
     classify = sub.add_parser("classify", help="fingerprint one trace")
     classify.add_argument("--data", type=Path, required=True,
@@ -67,6 +97,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "countermeasures|fiveg|handover|ablation")
     experiment.add_argument("--scale", default="fast",
                             choices=("fast", "full"))
+    _add_runtime_args(experiment)
+
+    bench = sub.add_parser(
+        "bench", help="run component micro-benchmarks once (timings off)")
+    bench.add_argument("--select", default=None,
+                       help="pytest -k expression to pick benchmarks")
+    _add_runtime_args(bench)
+
+    cache = sub.add_parser("cache", help="inspect / clear the trace cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached trace")
+    cache.add_argument("--cache-dir", type=Path, default=None,
+                       help="cache directory to operate on")
 
     sub.add_parser("list", help="show apps, operators, experiments")
     return parser
@@ -191,6 +234,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the component micro-benchmarks once with timing collection off.
+
+    This is the CI smoke path (``make bench-smoke`` calls it): every
+    benchmark body executes and asserts its invariants, but no rounds
+    are repeated, so runtime-layer regressions surface in seconds.
+    """
+    try:
+        import pytest
+    except ImportError:  # pragma: no cover - pytest is a dev dependency
+        print("bench requires pytest (and pytest-benchmark)",
+              file=sys.stderr)
+        return 1
+    bench_file = Path(__file__).resolve().parents[2] / "benchmarks" \
+        / "test_component_speed.py"
+    if not bench_file.exists():
+        print(f"benchmark suite not found at {bench_file}", file=sys.stderr)
+        return 1
+    pytest_args = [str(bench_file), "-q", "--benchmark-disable",
+                   "-p", "no:cacheprovider"]
+    if args.select:
+        pytest_args += ["-k", args.select]
+    return int(pytest.main(pytest_args))
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Report (or clear) the on-disk trace cache."""
+    if args.cache_dir is not None:
+        runtime.configure(cache_dir=args.cache_dir)
+    cache = runtime.trace_cache()
+    if cache is None:
+        print("trace cache is disabled (REPRO_TRACE_CACHE=0)")
+        return 0
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.directory}")
+        return 0
+    entries = cache.entries()
+    total = sum(size for _, size, _ in entries)
+    print(f"directory:   {cache.directory}")
+    print(f"entries:     {len(entries)}")
+    print(f"size:        {total / (1 << 20):.1f} MiB "
+          f"(bound {cache.max_bytes / (1 << 20):.0f} MiB)")
+    print(f"fingerprint: {cache.fingerprint[:16]}…")
+    return 0
+
+
 def _cmd_list() -> int:
     print("apps:")
     for name in app_names():
@@ -207,6 +297,8 @@ def _cmd_list() -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command in ("collect", "train", "experiment", "bench"):
+        _configure_runtime(args)
     if args.command == "collect":
         return _cmd_collect(args)
     if args.command == "train":
@@ -215,6 +307,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_classify(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

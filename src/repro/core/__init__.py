@@ -10,11 +10,12 @@
 """
 
 from .correlation import (PAIR_FEATURE_NAMES, CorrelationAttack, PairScore,
-                          optimal_time_window, precision_recall)
+                          optimal_time_window, precision_recall,
+                          similarity_matrix)
 from .costmodel import (SNIFFER_COST_USD, AttackScenario, AttackerCostModel,
                         UnitCosts, deployment_cost_usd)
-from .dataset import (LabeledWindows, collect_pair, collect_trace,
-                      collect_traces, windows_from_traces)
+from .dataset import (LabeledWindows, PairSpec, collect_pair, collect_pairs,
+                      collect_trace, collect_traces, windows_from_traces)
 from .drift import (DriftPoint, RetrainingPolicy, days_until_below,
                     decay_summary, fscore_over_days)
 from .features import (FEATURE_NAMES, N_FEATURES, WindowConfig,
@@ -28,11 +29,12 @@ __all__ = [
     "AttackScenario", "AttackerCostModel", "CorrelationAttack", "DriftPoint",
     "FEATURE_NAMES", "HierarchicalFingerprinter", "HistoryAttack",
     "HistoryFinding", "LabeledWindows", "N_FEATURES", "PAIR_FEATURE_NAMES",
-    "PairScore", "RetrainingPolicy", "SNIFFER_COST_USD", "TraceVerdict",
-    "UnitCosts", "WindowConfig", "ZoneVisit", "collect_pair",
-    "collect_trace", "collect_traces", "days_until_below", "decay_summary",
-    "deployment_cost_usd", "evaluate_findings", "extract_features",
-    "fscore_over_days", "load_fingerprinter", "optimal_time_window",
-    "precision_recall", "save_fingerprinter",
-    "segment_episodes", "volume_series", "windows_from_traces",
+    "PairScore", "PairSpec", "RetrainingPolicy", "SNIFFER_COST_USD",
+    "TraceVerdict", "UnitCosts", "WindowConfig", "ZoneVisit", "collect_pair",
+    "collect_pairs", "collect_trace", "collect_traces", "days_until_below",
+    "decay_summary", "deployment_cost_usd", "evaluate_findings",
+    "extract_features", "fscore_over_days", "load_fingerprinter",
+    "optimal_time_window", "precision_recall", "save_fingerprinter",
+    "segment_episodes", "similarity_matrix", "volume_series",
+    "windows_from_traces",
 ]

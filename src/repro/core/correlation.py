@@ -16,11 +16,13 @@ verdict of Table VII:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import runtime
 from ..lte.dci import Direction
 from ..ml.dtw import similarity_score
 from ..ml.logistic import BinaryLogisticRegression
@@ -164,6 +166,40 @@ class CorrelationAttack:
             raise RuntimeError("correlation model is not fitted")
         X = np.array([self.score_pair(a, b).features for a, b in pairs])
         return self._model.decision_scores(X)
+
+
+def _matrix_cell(pair: Tuple[int, int], *, traces: List[Trace],
+                 bin_s: float, dtw_window: Optional[int]) -> float:
+    """ParallelMap work function: similarity of one (i, j) cell."""
+    i, j = pair
+    attack = CorrelationAttack(bin_s=bin_s, dtw_window=dtw_window)
+    return attack.similarity(traces[i], traces[j])
+
+
+def similarity_matrix(traces: Sequence[Trace], bin_s: float = 1.0,
+                      dtw_window: Optional[int] = 3,
+                      workers: Optional[int] = None) -> np.ndarray:
+    """All-pairs DTW similarity of a set of user traces.
+
+    This is the scanning attacker's workload: given every user seen on
+    a cell, score every candidate pairing (the §VII-C similarity
+    calculation) to shortlist who is talking to whom.  The headline
+    score is symmetric (it averages both cross-direction comparisons),
+    so only the upper triangle including the diagonal is computed —
+    fanned out over the runtime's ParallelMap, reassembled by index,
+    and therefore identical for any worker count.
+    """
+    n = len(traces)
+    trace_list = list(traces)
+    pairs = [(i, j) for i in range(n) for j in range(i, n)]
+    work = functools.partial(_matrix_cell, traces=trace_list, bin_s=bin_s,
+                             dtw_window=dtw_window)
+    values = runtime.mapper(workers).map(work, pairs)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for (i, j), value in zip(pairs, values):
+        matrix[i, j] = value
+        matrix[j, i] = value
+    return matrix
 
 
 def precision_recall(y_true: np.ndarray, y_pred: np.ndarray

@@ -11,11 +11,13 @@ parameter drift for the Fig. 8 time-effect study.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import runtime
 from ..apps import BackgroundMix, category_of, make_app
 from ..apps.paired import make_chat_pair
 from ..apps.voip import make_call_pair
@@ -32,16 +34,23 @@ def _scaled_day(day: int, operator: OperatorProfile) -> int:
     return int(round(day * operator.drift_multiplier))
 
 
-def collect_trace(app_name: str, operator: OperatorProfile = LAB,
-                  duration_s: float = 60.0, seed: int = 0, day: int = 0,
-                  background_count: int = 0,
-                  settle_s: float = 2.0) -> Trace:
-    """Capture one labelled trace of one app in one environment.
+def _trace_key(cache, app_name: str, operator: OperatorProfile,
+               duration_s: float, seed: int, day: int,
+               background_count: int, settle_s: float) -> str:
+    """Content address of one trace simulation (code version included)."""
+    return cache.key(kind="trace", app=app_name, operator=repr(operator),
+                     duration_s=duration_s, seed=seed, day=day,
+                     background_count=background_count, settle_s=settle_s)
 
-    Builds a fresh single-cell network under the operator profile, runs
-    the app on a victim UE for ``duration_s`` (plus ``settle_s`` of
-    post-session drain time), sniffs the PDCCH, and returns the victim's
-    merged per-user trace, rebased to t = 0 and labelled.
+
+def _simulate_trace(app_name: str, operator: OperatorProfile = LAB,
+                    duration_s: float = 60.0, seed: int = 0, day: int = 0,
+                    background_count: int = 0,
+                    settle_s: float = 2.0) -> Trace:
+    """Run one capture campaign for real (no cache consultation).
+
+    Pure function of its arguments — this is what ParallelMap workers
+    execute, and what makes the cache sound.
     """
     network = LTENetwork(seed=seed, **operator.network_kwargs())
     network.add_cell("cell-0", **operator.cell_kwargs())
@@ -68,34 +77,114 @@ def collect_trace(app_name: str, operator: OperatorProfile = LAB,
     return trace
 
 
+def _simulate_trace_task(spec: Tuple[str, int], *,
+                         operator: OperatorProfile, duration_s: float,
+                         day: int, background_count: int,
+                         settle_s: float) -> Trace:
+    """ParallelMap work function: one (app, pre-derived seed) item."""
+    app_name, item_seed = spec
+    return _simulate_trace(app_name, operator=operator,
+                           duration_s=duration_s, seed=item_seed, day=day,
+                           background_count=background_count,
+                           settle_s=settle_s)
+
+
+def collect_trace(app_name: str, operator: OperatorProfile = LAB,
+                  duration_s: float = 60.0, seed: int = 0, day: int = 0,
+                  background_count: int = 0,
+                  settle_s: float = 2.0) -> Trace:
+    """Capture one labelled trace of one app in one environment.
+
+    Builds a fresh single-cell network under the operator profile, runs
+    the app on a victim UE for ``duration_s`` (plus ``settle_s`` of
+    post-session drain time), sniffs the PDCCH, and returns the victim's
+    merged per-user trace, rebased to t = 0 and labelled.
+
+    When the runtime trace cache is enabled, a previously simulated
+    identical campaign is returned from disk instead of re-simulated.
+    """
+    cache = runtime.trace_cache()
+    if cache is not None:
+        key = _trace_key(cache, app_name, operator, duration_s, seed, day,
+                         background_count, settle_s)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    trace = _simulate_trace(app_name, operator=operator,
+                            duration_s=duration_s, seed=seed, day=day,
+                            background_count=background_count,
+                            settle_s=settle_s)
+    runtime.record_simulations(1)
+    if cache is not None:
+        cache.put(key, trace)
+    return trace
+
+
 def collect_traces(app_names: Sequence[str],
                    operator: OperatorProfile = LAB,
                    traces_per_app: int = 4, duration_s: float = 60.0,
                    seed: int = 0, day: int = 0,
-                   background_count: int = 0) -> TraceSet:
-    """Capture a labelled TraceSet across apps (one campaign)."""
-    traces = TraceSet()
+                   background_count: int = 0,
+                   workers: Optional[int] = None) -> TraceSet:
+    """Capture a labelled TraceSet across apps (one campaign).
+
+    The campaign fans out over the runtime's ParallelMap: per-trace
+    seeds are pre-derived from the position in the campaign (never from
+    execution order) and results are reassembled by index, so any
+    ``workers`` count yields a bit-identical TraceSet.  Cache hits are
+    resolved up front and only the misses are simulated.
+    """
+    specs: List[Tuple[str, int]] = []
     counter = 0
     for app_name in app_names:
         for repeat in range(traces_per_app):
-            traces.add(collect_trace(
-                app_name, operator=operator, duration_s=duration_s,
-                seed=seed * 104_729 + counter * 7919 + repeat, day=day,
-                background_count=background_count))
+            specs.append((app_name,
+                          seed * 104_729 + counter * 7919 + repeat))
             counter += 1
+    settle_s = 2.0
+    cache = runtime.trace_cache()
+    results: List[Optional[Trace]] = [None] * len(specs)
+    pending: List[Tuple[int, Tuple[str, int]]] = []
+    for index, (app_name, item_seed) in enumerate(specs):
+        if cache is not None:
+            key = _trace_key(cache, app_name, operator, duration_s,
+                             item_seed, day, background_count, settle_s)
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append((index, (app_name, item_seed)))
+    if pending:
+        work = functools.partial(
+            _simulate_trace_task, operator=operator, duration_s=duration_s,
+            day=day, background_count=background_count, settle_s=settle_s)
+        simulated = runtime.mapper(workers).map(
+            work, [spec for _, spec in pending])
+        runtime.record_simulations(len(pending))
+        for (index, (app_name, item_seed)), trace in zip(pending, simulated):
+            results[index] = trace
+            if cache is not None:
+                cache.put(_trace_key(cache, app_name, operator, duration_s,
+                                     item_seed, day, background_count,
+                                     settle_s), trace)
+    traces = TraceSet()
+    for trace in results:
+        traces.add(trace)
     return traces
 
 
-def collect_pair(app_name: str, kind: str,
-                 operator: OperatorProfile = LAB,
-                 duration_s: float = 60.0, seed: int = 0,
-                 day: int = 0) -> Tuple[Trace, Trace]:
-    """Capture the two legs of one conversation (correlation attack).
+def _pair_key(cache, app_name: str, kind: str, operator: OperatorProfile,
+              duration_s: float, seed: int, day: int) -> str:
+    return cache.key(kind=f"pair-{kind}", app=app_name,
+                     operator=repr(operator), duration_s=duration_s,
+                     seed=seed, day=day)
 
-    ``kind`` is ``"chat"`` (messaging apps) or ``"call"`` (VoIP apps).
-    Both UEs live in the same cell; one sniffer separates them by
-    identity mapping, exactly as the attack would.
-    """
+
+def _simulate_pair(app_name: str, kind: str,
+                   operator: OperatorProfile = LAB,
+                   duration_s: float = 60.0, seed: int = 0,
+                   day: int = 0) -> Tuple[Trace, Trace]:
+    """Run one two-UE conversation campaign for real (no cache)."""
     from ..apps.catalog import APP_REGISTRY
 
     if kind not in ("chat", "call"):
@@ -129,6 +218,93 @@ def collect_pair(app_name: str, kind: str,
         trace.day = day
         out.append(trace)
     return out[0], out[1]
+
+
+def _simulate_pair_task(spec: "PairSpec") -> Tuple[Trace, Trace]:
+    """ParallelMap work function for one PairSpec."""
+    return _simulate_pair(spec.app_name, spec.kind, operator=spec.operator,
+                          duration_s=spec.duration_s, seed=spec.seed,
+                          day=spec.day)
+
+
+def collect_pair(app_name: str, kind: str,
+                 operator: OperatorProfile = LAB,
+                 duration_s: float = 60.0, seed: int = 0,
+                 day: int = 0) -> Tuple[Trace, Trace]:
+    """Capture the two legs of one conversation (correlation attack).
+
+    ``kind`` is ``"chat"`` (messaging apps) or ``"call"`` (VoIP apps).
+    Both UEs live in the same cell; one sniffer separates them by
+    identity mapping, exactly as the attack would.  Cached like
+    :func:`collect_trace` (both legs stored as one entry).
+    """
+    if kind not in ("chat", "call"):
+        raise ValueError(f"kind must be 'chat' or 'call': {kind!r}")
+    cache = runtime.trace_cache()
+    if cache is not None:
+        key = _pair_key(cache, app_name, kind, operator, duration_s, seed,
+                        day)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    pair = _simulate_pair(app_name, kind, operator=operator,
+                          duration_s=duration_s, seed=seed, day=day)
+    runtime.record_simulations(1)
+    if cache is not None:
+        cache.put(key, pair)
+    return pair
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """One conversation campaign in a :func:`collect_pairs` fan-out."""
+
+    app_name: str
+    kind: str                       # "chat" or "call"
+    operator: OperatorProfile = LAB
+    duration_s: float = 60.0
+    seed: int = 0
+    day: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("chat", "call"):
+            raise ValueError(
+                f"kind must be 'chat' or 'call': {self.kind!r}")
+
+
+def collect_pairs(specs: Sequence[PairSpec],
+                  workers: Optional[int] = None
+                  ) -> List[Tuple[Trace, Trace]]:
+    """Capture many conversation pairs with caching + fan-out.
+
+    The experiments' Table VI/VII loops are fan-outs of independent,
+    fully seeded campaigns; like :func:`collect_traces`, results come
+    back in spec order bit-identical to a serial run.
+    """
+    cache = runtime.trace_cache()
+    results: List[Optional[Tuple[Trace, Trace]]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            hit = cache.get(_pair_key(cache, spec.app_name, spec.kind,
+                                      spec.operator, spec.duration_s,
+                                      spec.seed, spec.day))
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+    if pending:
+        simulated = runtime.mapper(workers).map(
+            _simulate_pair_task, [specs[index] for index in pending])
+        runtime.record_simulations(len(pending))
+        for index, pair in zip(pending, simulated):
+            results[index] = pair
+            if cache is not None:
+                spec = specs[index]
+                cache.put(_pair_key(cache, spec.app_name, spec.kind,
+                                    spec.operator, spec.duration_s,
+                                    spec.seed, spec.day), pair)
+    return results
 
 
 @dataclass

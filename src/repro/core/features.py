@@ -81,7 +81,7 @@ class WindowConfig:
 
 def extract_features(trace: Trace,
                      config: Optional[WindowConfig] = None) -> np.ndarray:
-    """Per-window feature matrix for one trace, shape (n_windows, 13).
+    """Per-window feature matrix for one trace, shape (n_windows, N_FEATURES).
 
     Empty windows are skipped (the sniffer sees nothing there); the
     silence they represent survives as the next window's

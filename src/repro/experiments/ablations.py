@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .. import runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -36,9 +37,16 @@ class HierarchyAblation:
 
 
 def run_hierarchy(scale="fast", seed: int = 113,
-                  operator: OperatorProfile = LAB) -> HierarchyAblation:
+                  operator: OperatorProfile = LAB,
+                  workers: Optional[int] = None) -> HierarchyAblation:
     """Compare the paper's hierarchical pipeline against a flat one."""
     resolved = get_scale(scale)
+    with runtime.overrides(workers=workers):
+        return _run_hierarchy(resolved, seed, operator)
+
+
+def _run_hierarchy(resolved, seed: int,
+                   operator: OperatorProfile) -> HierarchyAblation:
     train = collect_traces(list(app_names()), operator=operator,
                            traces_per_app=resolved.traces_per_app,
                            duration_s=resolved.trace_duration_s, seed=seed)
@@ -82,10 +90,20 @@ class ForestAblation:
 
 def run_forest(scale="fast", seed: int = 127,
                operator: OperatorProfile = LAB,
-               tree_counts: Tuple[int, ...] = (5, 10, 20, 40, 80)
-               ) -> ForestAblation:
-    """Sweep forest size and max_features on one dataset."""
+               tree_counts: Tuple[int, ...] = (5, 10, 20, 40, 80),
+               workers: Optional[int] = None) -> ForestAblation:
+    """Sweep forest size and max_features on one dataset.
+
+    Note: with ``workers`` set, the tree-curve fit times are wall-clock
+    of the parallel fit, not CPU time.
+    """
     resolved = get_scale(scale)
+    with runtime.overrides(workers=workers):
+        return _run_forest(resolved, seed, operator, tree_counts)
+
+
+def _run_forest(resolved, seed: int, operator: OperatorProfile,
+                tree_counts: Tuple[int, ...]) -> ForestAblation:
     traces = collect_traces(list(app_names()), operator=operator,
                             traces_per_app=resolved.traces_per_app,
                             duration_s=resolved.trace_duration_s, seed=seed)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .. import runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -48,36 +49,39 @@ class NoiseResult:
 
 def run(scale="fast", seed: int = 83, target_app: str = "YouTube",
         operator: OperatorProfile = TMOBILE,
-        levels: Optional[Tuple[int, ...]] = None) -> NoiseResult:
+        levels: Optional[Tuple[int, ...]] = None,
+        workers: Optional[int] = None) -> NoiseResult:
     """Reproduce Fig. 9's noise-degradation curve."""
     resolved = get_scale(scale)
     levels = levels or NOISE_LEVELS
-    # Train on clean traces of every app (single running app).
-    train = collect_traces(list(app_names()), operator=operator,
-                           traces_per_app=resolved.traces_per_app,
-                           duration_s=resolved.trace_duration_s, seed=seed)
-    windows = windows_from_traces(train)
-    model = HierarchicalFingerprinter(n_trees=resolved.n_trees,
-                                      seed=seed + 1)
-    model.fit(windows)
-    target_id = windows.app_encoder.transform([target_app])[0]
-    f_scores: List[float] = []
-    noise_instances: List[int] = []
-    for index, level in enumerate(levels):
-        test = collect_traces(
-            [target_app], operator=operator,
-            traces_per_app=max(2, resolved.traces_per_app),
-            duration_s=resolved.trace_duration_s,
-            seed=seed + 997 * (index + 1),
-            background_count=level)
-        test_windows = windows_from_traces(
-            test, app_encoder=windows.app_encoder,
-            category_encoder=windows.category_encoder)
-        predictions = model.predict_apps(test_windows.X)
-        scores = per_class_scores(test_windows.app_labels, predictions,
-                                  n_classes=windows.app_encoder.n_classes)
-        f_scores.append(scores[target_id].f_score)
-        noise_instances.append(len(test_windows.X))
+    with runtime.overrides(workers=workers):
+        # Train on clean traces of every app (single running app).
+        train = collect_traces(list(app_names()), operator=operator,
+                               traces_per_app=resolved.traces_per_app,
+                               duration_s=resolved.trace_duration_s,
+                               seed=seed)
+        windows = windows_from_traces(train)
+        model = HierarchicalFingerprinter(n_trees=resolved.n_trees,
+                                          seed=seed + 1)
+        model.fit(windows)
+        target_id = windows.app_encoder.transform([target_app])[0]
+        f_scores: List[float] = []
+        noise_instances: List[int] = []
+        for index, level in enumerate(levels):
+            test = collect_traces(
+                [target_app], operator=operator,
+                traces_per_app=max(2, resolved.traces_per_app),
+                duration_s=resolved.trace_duration_s,
+                seed=seed + 997 * (index + 1),
+                background_count=level)
+            test_windows = windows_from_traces(
+                test, app_encoder=windows.app_encoder,
+                category_encoder=windows.category_encoder)
+            predictions = model.predict_apps(test_windows.X)
+            scores = per_class_scores(test_windows.app_labels, predictions,
+                                      n_classes=windows.app_encoder.n_classes)
+            f_scores.append(scores[target_id].f_score)
+            noise_instances.append(len(test_windows.X))
     return NoiseResult(target_app=target_app, levels=list(levels),
                        f_scores=f_scores, noise_instances=noise_instances)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.features import WindowConfig
@@ -98,9 +99,12 @@ def run_fingerprinting(operator: OperatorProfile, scale: Scale,
 
 
 def run(scale="fast", seed: int = 11,
-        operator: Optional[OperatorProfile] = None) -> FingerprintResult:
+        operator: Optional[OperatorProfile] = None,
+        workers: Optional[int] = None) -> FingerprintResult:
     """Reproduce Table III (lab setting, all three direction views)."""
-    return run_fingerprinting(operator or LAB, get_scale(scale), seed=seed)
+    with runtime.overrides(workers=workers):
+        return run_fingerprinting(operator or LAB, get_scale(scale),
+                                  seed=seed)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -10,8 +10,9 @@ confidence" (0.74–0.91 in the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from .. import runtime
 from ..apps import app_names
 from ..lte.dci import Direction
 from ..operators.profiles import CARRIERS
@@ -49,14 +50,16 @@ class RealWorldResult:
         return sum(values) / len(values)
 
 
-def run(scale="fast", seed: int = 23) -> RealWorldResult:
+def run(scale="fast", seed: int = 23,
+        workers: Optional[int] = None) -> RealWorldResult:
     """Reproduce Table IV across Verizon, AT&T, and T-Mobile."""
     resolved = get_scale(scale)
     views = (("Down", Direction.DOWNLINK),)
     per_carrier = {}
-    for index, carrier in enumerate(CARRIERS):
-        per_carrier[carrier.name] = run_fingerprinting(
-            carrier, resolved, views=views, seed=seed + 97 * index)
+    with runtime.overrides(workers=workers):
+        for index, carrier in enumerate(CARRIERS):
+            per_carrier[carrier.name] = run_fingerprinting(
+                carrier, resolved, views=views, seed=seed + 97 * index)
     return RealWorldResult(per_carrier=per_carrier, apps=list(app_names()))
 
 

@@ -10,8 +10,9 @@ correctly — an 83 % success rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from .. import runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -90,21 +91,24 @@ def build_visits(scale: Scale, gap_s: float = 60.0) -> List[ZoneVisit]:
 
 def run(scale="fast", seed: int = 31,
         operator: OperatorProfile = TMOBILE,
-        use_imsi_catcher: bool = True) -> HistoryResult:
+        use_imsi_catcher: bool = True,
+        workers: Optional[int] = None) -> HistoryResult:
     """Reproduce Table V end to end."""
     resolved = get_scale(scale)
-    train = collect_traces(list(app_names()), operator=operator,
-                           traces_per_app=resolved.traces_per_app,
-                           duration_s=resolved.trace_duration_s, seed=seed)
-    windows = windows_from_traces(train)
-    fingerprinter = HierarchicalFingerprinter(n_trees=resolved.n_trees,
-                                              seed=seed + 1)
-    fingerprinter.fit(windows)
-    attack = HistoryAttack(fingerprinter, operator=operator,
-                           use_imsi_catcher=use_imsi_catcher,
-                           episode_gap_s=30.0)
-    visits = build_visits(resolved)
-    findings = attack.run(visits, seed=seed + 2)
+    with runtime.overrides(workers=workers):
+        train = collect_traces(list(app_names()), operator=operator,
+                               traces_per_app=resolved.traces_per_app,
+                               duration_s=resolved.trace_duration_s,
+                               seed=seed)
+        windows = windows_from_traces(train)
+        fingerprinter = HierarchicalFingerprinter(n_trees=resolved.n_trees,
+                                                  seed=seed + 1)
+        fingerprinter.fit(windows)
+        attack = HistoryAttack(fingerprinter, operator=operator,
+                               use_imsi_catcher=use_imsi_catcher,
+                               episode_gap_s=30.0)
+        visits = build_visits(resolved)
+        findings = attack.run(visits, seed=seed + 2)
     summary = evaluate_findings(findings, visits)
     return HistoryResult(findings=findings, summary=summary)
 

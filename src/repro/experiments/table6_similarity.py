@@ -9,13 +9,14 @@ shape: lab scores highest (0.75–0.93), carriers lower (0.61–0.78).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import runtime
 from ..apps import AppCategory, apps_in_category
 from ..core.correlation import CorrelationAttack
-from ..core.dataset import collect_pair
+from ..core.dataset import PairSpec, collect_pairs
 from ..operators.profiles import ATT, LAB, TMOBILE, VERIZON, OperatorProfile
 from .common import format_table, get_scale
 
@@ -59,24 +60,36 @@ class SimilarityResult:
         return float(np.mean([self.scores[env][a][0] for a in self.apps]))
 
 
-def run(scale="fast", seed: int = 41, bin_s: float = 1.0
-        ) -> SimilarityResult:
-    """Reproduce Table VI across environments and apps."""
+def run(scale="fast", seed: int = 41, bin_s: float = 1.0,
+        workers: Optional[int] = None) -> SimilarityResult:
+    """Reproduce Table VI across environments and apps.
+
+    Every (environment, app, repeat) campaign is an independent seeded
+    simulation, so the whole table is one :func:`collect_pairs` fan-out
+    (cache-aware, parallel) followed by scoring.
+    """
     resolved = get_scale(scale)
     attack = CorrelationAttack(bin_s=bin_s)
     apps = [name for name, _ in conversational_apps()]
-    scores: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    specs: List[PairSpec] = []
     for env_index, environment in enumerate(ENVIRONMENTS):
-        per_app: Dict[str, Tuple[float, float]] = {}
         for app_index, (app, kind) in enumerate(conversational_apps()):
-            values = []
             for repeat in range(resolved.pairs_per_app):
-                pair_seed = (seed + 1009 * env_index + 211 * app_index
-                             + 13 * repeat)
-                a, b = collect_pair(app, kind, operator=environment,
-                                    duration_s=resolved.trace_duration_s,
-                                    seed=pair_seed)
-                values.append(attack.similarity(a, b))
+                specs.append(PairSpec(
+                    app_name=app, kind=kind, operator=environment,
+                    duration_s=resolved.trace_duration_s,
+                    seed=(seed + 1009 * env_index + 211 * app_index
+                          + 13 * repeat)))
+    with runtime.overrides(workers=workers):
+        pairs = collect_pairs(specs)
+    scores: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    cursor = 0
+    for environment in ENVIRONMENTS:
+        per_app: Dict[str, Tuple[float, float]] = {}
+        for app, _kind in conversational_apps():
+            values = [attack.similarity(a, b) for a, b in
+                      pairs[cursor:cursor + resolved.pairs_per_app]]
+            cursor += resolved.pairs_per_app
             per_app[app] = (float(np.mean(values)), float(np.std(values)))
         scores[environment.name] = per_app
     return SimilarityResult(scores=scores, apps=apps)

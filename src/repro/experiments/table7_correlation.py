@@ -10,12 +10,13 @@ just needs to get lucky once"), carriers in the 0.65–0.87 band.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import runtime
 from ..core.correlation import CorrelationAttack, precision_recall
-from ..core.dataset import collect_pair
+from ..core.dataset import PairSpec, collect_pairs
 from ..operators.profiles import OperatorProfile
 from .common import format_table, get_scale
 from .table6_similarity import ENVIRONMENTS, conversational_apps
@@ -59,45 +60,50 @@ def _pairs_for(app: str, kind: str, environment: OperatorProfile,
     traffic has real conversational structure and only the rhythm
     alignment betrays the missing pairing.
     """
+    specs: List[PairSpec] = []
+    for repeat in range(count):
+        for offset in (0, 1000, 2000):
+            specs.append(PairSpec(app_name=app, kind=kind,
+                                  operator=environment,
+                                  duration_s=duration_s,
+                                  seed=seed + offset + 17 * repeat))
+    collected = collect_pairs(specs)
     positives, negatives = [], []
     for repeat in range(count):
-        positives.append(collect_pair(app, kind, operator=environment,
-                                      duration_s=duration_s,
-                                      seed=seed + 17 * repeat))
-        other_a, _ = collect_pair(app, kind, operator=environment,
-                                  duration_s=duration_s,
-                                  seed=seed + 1000 + 17 * repeat)
-        other_b, _ = collect_pair(app, kind, operator=environment,
-                                  duration_s=duration_s,
-                                  seed=seed + 2000 + 17 * repeat)
+        genuine = collected[3 * repeat]
+        other_a, _ = collected[3 * repeat + 1]
+        other_b, _ = collected[3 * repeat + 2]
+        positives.append(genuine)
         negatives.append((other_a, other_b))
     return positives, negatives
 
 
-def run(scale="fast", seed: int = 53) -> CorrelationResult:
+def run(scale="fast", seed: int = 53,
+        workers: Optional[int] = None) -> CorrelationResult:
     """Reproduce Table VII across environments and apps."""
     resolved = get_scale(scale)
     apps = [name for name, _ in conversational_apps()]
     scores: Dict[str, Dict[str, Tuple[float, float]]] = {}
     n_train = max(3, resolved.pairs_per_app)
     n_test = max(2, resolved.pairs_per_app // 2 + 1)
-    for env_index, environment in enumerate(ENVIRONMENTS):
-        per_app: Dict[str, Tuple[float, float]] = {}
-        for app_index, (app, kind) in enumerate(conversational_apps()):
-            base = seed + 3001 * env_index + 331 * app_index
-            train_pos, train_neg = _pairs_for(
-                app, kind, environment, n_train,
-                resolved.trace_duration_s, base)
-            test_pos, test_neg = _pairs_for(
-                app, kind, environment, n_test,
-                resolved.trace_duration_s, base + 50_000)
-            attack = CorrelationAttack(seed=base)
-            attack.fit(train_pos, train_neg)
-            pairs = list(test_pos) + list(test_neg)
-            y_true = np.array([1] * len(test_pos) + [0] * len(test_neg))
-            y_pred = attack.predict_pairs(pairs)
-            per_app[app] = precision_recall(y_true, y_pred)
-        scores[environment.name] = per_app
+    with runtime.overrides(workers=workers):
+        for env_index, environment in enumerate(ENVIRONMENTS):
+            per_app: Dict[str, Tuple[float, float]] = {}
+            for app_index, (app, kind) in enumerate(conversational_apps()):
+                base = seed + 3001 * env_index + 331 * app_index
+                train_pos, train_neg = _pairs_for(
+                    app, kind, environment, n_train,
+                    resolved.trace_duration_s, base)
+                test_pos, test_neg = _pairs_for(
+                    app, kind, environment, n_test,
+                    resolved.trace_duration_s, base + 50_000)
+                attack = CorrelationAttack(seed=base)
+                attack.fit(train_pos, train_neg)
+                pairs = list(test_pos) + list(test_neg)
+                y_true = np.array([1] * len(test_pos) + [0] * len(test_neg))
+                y_pred = attack.predict_pairs(pairs)
+                per_app[app] = precision_recall(y_true, y_pred)
+            scores[environment.name] = per_app
     return CorrelationResult(scores=scores, apps=apps)
 
 

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..ml.crossval import train_test_split, tune_knn_k
@@ -65,9 +66,20 @@ class AlgorithmResult:
 
 def run(scale="fast", seed: int = 67,
         operator: OperatorProfile = TMOBILE,
-        cnn_epochs: int = 25) -> AlgorithmResult:
-    """Reproduce Table VIII on one carrier's mixed dataset."""
+        cnn_epochs: int = 25,
+        workers: Optional[int] = None) -> AlgorithmResult:
+    """Reproduce Table VIII on one carrier's mixed dataset.
+
+    Note: with ``workers`` set, the reported per-model fit times are
+    wall-clock of the parallel fit, not CPU time.
+    """
     resolved = get_scale(scale)
+    with runtime.overrides(workers=workers):
+        return _run(resolved, seed, operator, cnn_epochs)
+
+
+def _run(resolved, seed: int, operator: OperatorProfile,
+         cnn_epochs: int) -> AlgorithmResult:
     traces = collect_traces(list(app_names()), operator=operator,
                             traces_per_app=resolved.traces_per_app,
                             duration_s=resolved.trace_duration_s, seed=seed)

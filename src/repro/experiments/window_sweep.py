@@ -8,8 +8,9 @@ macro F-score of the fingerprinting pipeline at each.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from .. import runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.features import WindowConfig
@@ -45,9 +46,16 @@ class WindowSweepResult:
 
 def run(scale="fast", seed: int = 97,
         operator: OperatorProfile = LAB,
-        sizes_ms: Tuple[float, ...] = WINDOW_SIZES_MS) -> WindowSweepResult:
+        sizes_ms: Tuple[float, ...] = WINDOW_SIZES_MS,
+        workers: Optional[int] = None) -> WindowSweepResult:
     """Sweep the aggregation window and score each setting."""
     resolved = get_scale(scale)
+    with runtime.overrides(workers=workers):
+        return _run(resolved, seed, operator, sizes_ms)
+
+
+def _run(resolved, seed: int, operator: OperatorProfile,
+         sizes_ms: Tuple[float, ...]) -> WindowSweepResult:
     train = collect_traces(list(app_names()), operator=operator,
                            traces_per_app=resolved.traces_per_app,
                            duration_s=resolved.trace_duration_s, seed=seed)

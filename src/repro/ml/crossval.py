@@ -6,10 +6,12 @@ cross-validating k = 1..10 (§VIII-D); both procedures live here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+import functools
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import runtime
 from .metrics import accuracy
 
 
@@ -66,18 +68,32 @@ def k_fold_indices(n: int, folds: int, seed: int = 0
         yield train, test
 
 
+def _run_fold(fold: Tuple[np.ndarray, np.ndarray], *, make_model: Callable,
+              X: np.ndarray, y: np.ndarray, score: Callable) -> float:
+    """ParallelMap work function: fit + score one CV fold."""
+    train_idx, test_idx = fold
+    model = make_model()
+    model.fit(X[train_idx], y[train_idx])
+    return score(y[test_idx], model.predict(X[test_idx]))
+
+
 def cross_validate(make_model: Callable, X: np.ndarray, y: np.ndarray,
                    folds: int = 5, seed: int = 0,
-                   score: Callable = accuracy) -> List[float]:
-    """Per-fold scores for a model factory."""
+                   score: Callable = accuracy,
+                   workers: Optional[int] = None) -> List[float]:
+    """Per-fold scores for a model factory.
+
+    Folds are pre-derived from the seed and fanned out over the
+    runtime's ParallelMap; scores come back in fold order, identical
+    for any worker count.  Unpicklable factories (lambdas) simply run
+    serially.
+    """
     X = np.asarray(X)
     y = np.asarray(y)
-    scores = []
-    for train_idx, test_idx in k_fold_indices(len(X), folds, seed):
-        model = make_model()
-        model.fit(X[train_idx], y[train_idx])
-        scores.append(score(y[test_idx], model.predict(X[test_idx])))
-    return scores
+    fold_list = list(k_fold_indices(len(X), folds, seed))
+    work = functools.partial(_run_fold, make_model=make_model, X=X, y=y,
+                             score=score)
+    return runtime.mapper(workers).map(work, fold_list)
 
 
 def tune_knn_k(X: np.ndarray, y: np.ndarray, k_values: Sequence[int] = range(1, 11),

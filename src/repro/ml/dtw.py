@@ -23,6 +23,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 
+#: Band half-width at which the vectorised anti-diagonal sweep overtakes
+#: the scalar banded scan (measured; see benchmarks/test_component_speed).
+_WAVEFRONT_MIN_WINDOW = 48
+
+
 def dtw_distance(a: np.ndarray, b: np.ndarray,
                  window: Optional[int] = None) -> float:
     """Accumulated DTW distance between two 1-D series (Eq. 1).
@@ -30,6 +35,13 @@ def dtw_distance(a: np.ndarray, b: np.ndarray,
     Args:
         a, b: 1-D arrays.
         window: optional Sakoe-Chiba band half-width; ``None`` = full.
+
+    Both internal strategies evaluate the exact recurrence cell by cell
+    (IEEE add + exact min), so the result is bit-identical whichever
+    path runs: a narrow band uses a scalar scan over the band only, a
+    wide band uses a NumPy-vectorised anti-diagonal wavefront (every
+    cell on one anti-diagonal depends only on the previous two, so the
+    whole diagonal is computed at once with elementwise ops).
     """
     a = np.asarray(a, dtype=np.float64).ravel()
     b = np.asarray(b, dtype=np.float64).ravel()
@@ -40,29 +52,79 @@ def dtw_distance(a: np.ndarray, b: np.ndarray,
         if window < 0:
             raise ValueError(f"window must be >= 0: {window}")
         window = max(window, abs(n - m))
-    inf = np.inf
-    previous = np.full(m + 1, inf)
+    effective = max(n, m) if window is None else window
+    if effective >= _WAVEFRONT_MIN_WINDOW:
+        return _dtw_wavefront(a, b, effective)
+    return _dtw_banded_scan(a, b, window)
+
+
+def _dtw_banded_scan(a: np.ndarray, b: np.ndarray,
+                     window: Optional[int]) -> float:
+    """Narrow-band path: scalar scan over the band in Python floats.
+
+    The ``current[j-1]`` term makes the in-row recurrence inherently
+    sequential; for small bands plain Python floats beat NumPy scalar
+    indexing by ~2.5x while computing the identical IEEE operations.
+    """
+    n, m = len(a), len(b)
+    inf = float("inf")
+    previous = [inf] * (m + 1)
     previous[0] = 0.0
+    a_values = a.tolist()
     for i in range(1, n + 1):
-        current = np.full(m + 1, inf)
+        current = [inf] * (m + 1)
         if window is None:
             lo, hi = 1, m
         else:
             lo, hi = max(1, i - window), min(m, i + window)
-        cost = np.abs(b[lo - 1:hi] - a[i - 1])
-        # current[j] = cost + min(previous[j-1], previous[j], current[j-1])
-        # The current[j-1] term forces a sequential scan; keep it in a
-        # tight local loop over the banded range only.
-        prev_diag = previous[lo - 1:hi]
-        prev_up = previous[lo:hi + 1]
-        run = current[lo - 1]
-        seg = np.empty(hi - lo + 1)
+        cost = np.abs(b[lo - 1:hi] - a_values[i - 1]).tolist()
+        run = inf
         for offset in range(hi - lo + 1):
-            run = cost[offset] + min(prev_diag[offset], prev_up[offset], run)
-            seg[offset] = run
-        current[lo:hi + 1] = seg
+            j = lo + offset
+            best = previous[j - 1]
+            up = previous[j]
+            if up < best:
+                best = up
+            if run < best:
+                best = run
+            run = cost[offset] + best
+            current[j] = run
         previous = current
     return float(previous[m])
+
+
+def _dtw_wavefront(a: np.ndarray, b: np.ndarray, window: int) -> float:
+    """Wide-band path: vectorised anti-diagonal sweep.
+
+    Cells are stored per anti-diagonal ``s = i + j`` indexed by ``i``
+    in three rotating buffers; cell (i, j) reads (i-1, j-1) from
+    diagonal s-2 and (i-1, j) / (i, j-1) from diagonal s-1, all
+    computed with elementwise NumPy ops — the same add/min per cell as
+    the scalar recurrence, hence bit-identical results.
+    """
+    n, m = len(a), len(b)
+    inf = np.inf
+    buffers = [np.full(n + 1, inf) for _ in range(3)]
+    buffers[0][0] = 0.0                     # D[0, 0]
+    for s in range(2, n + m + 1):
+        current = buffers[s % 3]
+        prev1 = buffers[(s - 1) % 3]
+        prev2 = buffers[(s - 2) % 3]
+        lo = max(1, s - m, (s - window + 1) // 2)
+        hi = min(n, s - 1, (s + window) // 2)
+        # Wipe the reused buffer around the band (bounds move at most
+        # one index per diagonal, so a 3-cell margin covers every cell
+        # later read as a neighbour).
+        current[max(0, lo - 3):min(n, hi + 3) + 1] = inf
+        if lo > hi:
+            continue
+        i_values = np.arange(lo, hi + 1)
+        cost = np.abs(b[s - i_values - 1] - a[lo - 1:hi])
+        best = np.minimum(
+            np.minimum(prev2[lo - 1:hi], prev1[lo - 1:hi]),
+            prev1[lo:hi + 1])
+        current[lo:hi + 1] = cost + best
+    return float(buffers[(n + m) % 3][n])
 
 
 def dtw_path_length(n: int, m: int) -> int:

@@ -8,13 +8,27 @@ Weka configuration — 100 trees, seed 1 — is the default.
 
 from __future__ import annotations
 
+import functools
 import random
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import runtime
 from .base import Classifier, check_fit_inputs
 from .tree import DecisionTree
+
+
+def _fit_one_tree(task: Tuple[np.ndarray, int], *, X: np.ndarray,
+                  y: np.ndarray, n_classes: int, max_depth: Optional[int],
+                  min_samples_leaf: int,
+                  max_features: Union[str, int, None]) -> DecisionTree:
+    """ParallelMap work function: fit one tree on pre-derived randomness."""
+    indices, tree_seed = task
+    tree = DecisionTree(max_depth=max_depth, min_samples_split=2,
+                        min_samples_leaf=min_samples_leaf,
+                        max_features=max_features, seed=tree_seed)
+    return tree.fit(X[indices], y[indices], n_classes=n_classes)
 
 
 class RandomForest(Classifier):
@@ -26,12 +40,17 @@ class RandomForest(Classifier):
         min_samples_leaf: per-tree leaf size floor.
         max_features: per-node feature subsampling (default ``"sqrt"``).
         seed: master seed (paper: 1); trees get derived seeds.
+        workers: fan tree fitting out over this many processes
+            (``None`` = the runtime default).  Any worker count produces
+            the same forest: all bootstrap indices and tree seeds are
+            drawn from the master streams *before* the fan-out, in the
+            exact order the serial loop would draw them.
     """
 
     def __init__(self, n_trees: int = 100, max_depth: Optional[int] = None,
                  min_samples_leaf: int = 1,
                  max_features: Union[str, int, None] = "sqrt",
-                 seed: int = 1) -> None:
+                 seed: int = 1, workers: Optional[int] = None) -> None:
         if n_trees < 1:
             raise ValueError(f"n_trees must be >= 1: {n_trees}")
         self.n_trees = n_trees
@@ -39,6 +58,7 @@ class RandomForest(Classifier):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.seed = seed
+        self.workers = workers
         self.trees_: List[DecisionTree] = []
         self.n_classes_: int = 0
 
@@ -49,16 +69,16 @@ class RandomForest(Classifier):
         rng = random.Random(self.seed)
         master = np.random.default_rng(self.seed)
         n = len(X)
-        self.trees_ = []
+        tasks: List[Tuple[np.ndarray, int]] = []
         for _ in range(self.n_trees):
             indices = master.integers(0, n, size=n)
-            tree = DecisionTree(max_depth=self.max_depth,
-                                min_samples_split=2,
-                                min_samples_leaf=self.min_samples_leaf,
-                                max_features=self.max_features,
-                                seed=rng.getrandbits(32))
-            tree.fit(X[indices], y[indices], n_classes=self.n_classes_)
-            self.trees_.append(tree)
+            tasks.append((indices, rng.getrandbits(32)))
+        work = functools.partial(
+            _fit_one_tree, X=X, y=y, n_classes=self.n_classes_,
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features)
+        self.trees_ = runtime.mapper(self.workers).map(work, tasks)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -75,15 +95,15 @@ class RandomForest(Classifier):
         if not self.trees_:
             raise RuntimeError("forest is not fitted")
         counts = np.zeros(self.trees_[0].n_features_, dtype=np.float64)
-
-        def walk(node) -> None:
+        # Iterative walk: unlimited-depth trees can exceed the Python
+        # recursion limit.
+        stack = [tree._root for tree in self.trees_]
+        while stack:
+            node = stack.pop()
             if node.is_leaf:
-                return
+                continue
             counts[node.feature] += 1
-            walk(node.left)
-            walk(node.right)
-
-        for tree in self.trees_:
-            walk(tree._root)
+            stack.append(node.left)
+            stack.append(node.right)
         total = counts.sum()
         return counts / total if total else counts

@@ -192,25 +192,35 @@ class DecisionTree(Classifier):
         return out
 
     def depth(self) -> int:
-        """Actual depth of the fitted tree (0 = a lone leaf)."""
+        """Actual depth of the fitted tree (0 = a lone leaf).
+
+        Iterative so unlimited-depth trees cannot blow the recursion
+        limit.
+        """
         if self._root is None:
             raise RuntimeError("tree is not fitted")
-
-        def walk(node: _Node) -> int:
+        deepest = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
             if node.is_leaf:
-                return 0
-            return 1 + max(walk(node.left), walk(node.right))
-
-        return walk(self._root)
+                if level > deepest:
+                    deepest = level
+                continue
+            stack.append((node.left, level + 1))
+            stack.append((node.right, level + 1))
+        return deepest
 
     def node_count(self) -> int:
-        """Total number of nodes in the fitted tree."""
+        """Total number of nodes in the fitted tree (iterative walk)."""
         if self._root is None:
             raise RuntimeError("tree is not fitted")
-
-        def walk(node: _Node) -> int:
-            if node.is_leaf:
-                return 1
-            return 1 + walk(node.left) + walk(node.right)
-
-        return walk(self._root)
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.append(node.left)
+                stack.append(node.right)
+        return count

@@ -1,0 +1,240 @@
+"""Content-addressed on-disk cache for simulated traces.
+
+Every experiment regenerates identical seeded traces from scratch; at
+``full`` scale that is minutes of pure waste per table.  This cache
+keys each simulation on *everything that determines its output*:
+
+* the capture parameters (app, operator, duration, seed, day,
+  background count, settle time);
+* a **code fingerprint** — a digest of every source file the simulator
+  executes (``lte``, ``apps``, ``sniffer``, ``operators`` packages plus
+  ``core/dataset.py``) — so editing the simulator silently invalidates
+  every stale entry without any manual versioning.
+
+Entries are pickled to ``<sha256>.pkl`` under the cache directory via
+write-to-temp + ``os.replace``, so concurrent writers (parallel pytest
+runs, multi-process fan-outs) can never leave a torn entry; the worst
+case is writing the same bytes twice.  A byte-size LRU bound (eviction
+by access time; hits touch their entry) keeps the directory from
+growing without limit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+#: Environment knobs (documented in README / CLI help).
+CACHE_ENV = "REPRO_TRACE_CACHE"          # "0"/"off"/"false" disables
+CACHE_DIR_ENV = "REPRO_TRACE_CACHE_DIR"  # overrides the directory
+CACHE_MB_ENV = "REPRO_TRACE_CACHE_MB"    # LRU bound in megabytes
+
+DEFAULT_MAX_BYTES = 1 << 30              # 1 GiB
+
+#: Source trees whose code decides what a simulated trace looks like.
+_SIM_PACKAGES = ("lte", "apps", "sniffer", "operators")
+_SIM_MODULES = ("core/dataset.py",)
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the simulator's source code (cached per process).
+
+    Any edit to the packages that produce traces yields a new
+    fingerprint, and therefore a disjoint key space: stale entries are
+    never *returned*, only eventually evicted by the LRU bound.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        paths = []
+        for package in _SIM_PACKAGES:
+            paths.extend(sorted((root / package).glob("*.py")))
+        paths.extend(root / module for module in _SIM_MODULES)
+        for path in paths:
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_TRACE_CACHE_DIR`` or the XDG cache home."""
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-lte" / "traces"
+
+
+def cache_enabled_from_env(default: bool = True) -> bool:
+    raw = os.environ.get(CACHE_ENV, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "off", "false", "no")
+
+
+def max_bytes_from_env(default: int = DEFAULT_MAX_BYTES) -> int:
+    raw = os.environ.get(CACHE_MB_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(float(raw) * (1 << 20)))
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_MB_ENV} must be a number of megabytes: {raw!r}"
+        ) from None
+
+
+@dataclass
+class CacheStats:
+    """Counters the acceptance checks and the CLI report read."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}
+
+
+class TraceCache:
+    """Content-addressed pickle store with an LRU byte bound.
+
+    Args:
+        directory: where entries live (created on demand).
+        max_bytes: LRU size bound; oldest-accessed entries go first.
+        fingerprint: code-version component of every key; defaults to
+            :func:`code_fingerprint`.  Tests inject synthetic values to
+            exercise invalidation.
+    """
+
+    def __init__(self, directory: Path,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 fingerprint: Optional[str] = None) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1: {max_bytes}")
+        self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else code_fingerprint())
+        self.stats = CacheStats()
+
+    # -- keys ---------------------------------------------------------------------
+
+    def key(self, **fields) -> str:
+        """Content address for one simulation: params + code version."""
+        payload = {"code": self.fingerprint}
+        payload.update(fields)
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    # -- read / write -------------------------------------------------------------
+
+    def get(self, key: str):
+        """The cached value, or ``None`` on miss (or torn/corrupt entry)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupt or half-written by a pre-atomic-write version:
+            # drop it and treat as a miss.
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)           # bump LRU recency
+        except OSError:
+            pass
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Atomically store ``value``; concurrent writers never collide."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        self._evict_over_bound()
+
+    # -- maintenance --------------------------------------------------------------
+
+    def entries(self):
+        """(path, size, atime) for every entry currently on disk."""
+        out = []
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = self.directory / name
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path, stat.st_size, stat.st_mtime))
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self.entries())
+
+    def _evict_over_bound(self) -> None:
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for path, size, _ in sorted(entries, key=lambda e: e[2]):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path, _, _ in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

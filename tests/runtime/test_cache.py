@@ -1,0 +1,163 @@
+"""The on-disk trace cache: correctness, invalidation, bounds, stats."""
+
+import os
+import pickle
+
+import pytest
+
+from repro import runtime
+from repro.core.dataset import (PairSpec, collect_pairs, collect_trace,
+                                collect_traces)
+from repro.operators import LAB, TMOBILE
+from repro.runtime.cache import (TraceCache, cache_enabled_from_env,
+                                 code_fingerprint, max_bytes_from_env)
+
+
+@pytest.fixture()
+def cached(tmp_path):
+    """Scope the runtime to a fresh cache directory with clean counters."""
+    with runtime.overrides(cache_enabled=True, cache_dir=tmp_path):
+        runtime.reset_stats()
+        yield tmp_path
+
+
+class TestTraceCacheUnit:
+    def test_roundtrip(self, tmp_path):
+        cache = TraceCache(tmp_path, fingerprint="v1")
+        key = cache.key(kind="trace", app="YouTube", seed=3)
+        assert cache.get(key) is None
+        cache.put(key, {"payload": [1, 2, 3]})
+        assert cache.get(key) == {"payload": [1, 2, 3]}
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+
+    def test_key_covers_every_field(self, tmp_path):
+        cache = TraceCache(tmp_path, fingerprint="v1")
+        base = dict(kind="trace", app="YouTube", operator=repr(LAB),
+                    duration_s=10.0, seed=3, day=0, background_count=0)
+        key = cache.key(**base)
+        for field, other in [("app", "Skype"), ("operator", repr(TMOBILE)),
+                             ("duration_s", 20.0), ("seed", 4), ("day", 1),
+                             ("background_count", 5)]:
+            assert cache.key(**{**base, field: other}) != key
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        old = TraceCache(tmp_path, fingerprint="code-v1")
+        old.put(old.key(kind="trace", seed=1), "stale")
+        new = TraceCache(tmp_path, fingerprint="code-v2")
+        # Same parameters, new simulator code: must be a miss.
+        assert new.get(new.key(kind="trace", seed=1)) is None
+        # The old code version still finds its own entry.
+        assert old.get(old.key(kind="trace", seed=1)) == "stale"
+
+    def test_code_fingerprint_is_stable_hex(self):
+        first = code_fingerprint()
+        assert first == code_fingerprint()
+        assert len(first) == 64
+        int(first, 16)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = TraceCache(tmp_path, fingerprint="v1")
+        key = cache.key(seed=9)
+        cache.put(key, "fine")
+        path = cache._path(key)
+        path.write_bytes(b"\x80 torn write")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_lru_eviction_keeps_newest(self, tmp_path):
+        payload = b"x" * 512
+        bound = 3 * (len(pickle.dumps(payload)) + 32)
+        cache = TraceCache(tmp_path, max_bytes=bound, fingerprint="v1")
+        keys = [cache.key(seed=i) for i in range(8)]
+        for index, key in enumerate(keys):
+            cache.put(key, payload)
+            # Deterministic recency even on coarse-mtime filesystems.
+            os.utime(cache._path(key), (1000 + index, 1000 + index))
+        assert cache.stats.evictions > 0
+        assert cache.total_bytes() <= bound
+        # The most recently stored entry always survives.
+        assert cache.get(keys[-1]) is not None
+
+    def test_clear_empties_directory(self, tmp_path):
+        cache = TraceCache(tmp_path, fingerprint="v1")
+        for seed in range(3):
+            cache.put(cache.key(seed=seed), seed)
+        assert cache.clear() == 3
+        assert cache.entries() == []
+
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceCache(tmp_path, max_bytes=0)
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert cache_enabled_from_env() is False
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "1")
+        assert cache_enabled_from_env() is True
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MB", "2")
+        assert max_bytes_from_env() == 2 << 20
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MB", "lots")
+        with pytest.raises(ValueError):
+            max_bytes_from_env()
+
+
+class TestPipelineCaching:
+    def test_hit_equals_fresh_simulation(self, cached):
+        kwargs = dict(operator=LAB, duration_s=8.0, seed=5)
+        fresh = collect_trace("YouTube", **kwargs)
+        again = collect_trace("YouTube", **kwargs)
+        assert again.records == fresh.records
+        assert (again.label, again.category, again.operator) == \
+               (fresh.label, fresh.category, fresh.operator)
+        stats = runtime.stats()
+        assert stats.simulations == 1
+        assert stats.cache.hits == 1
+        with runtime.overrides(cache_enabled=False):
+            uncached = collect_trace("YouTube", **kwargs)
+        assert uncached.records == fresh.records
+
+    def test_warm_rerun_simulates_nothing(self, cached):
+        kwargs = dict(operator=LAB, traces_per_app=2, duration_s=8.0,
+                      seed=13)
+        cold = collect_traces(["YouTube", "Skype"], **kwargs)
+        after_cold = runtime.stats().simulations
+        assert after_cold == 4
+        warm = collect_traces(["YouTube", "Skype"], **kwargs)
+        assert runtime.stats().simulations == after_cold    # zero new sims
+        assert runtime.stats().cache.hits == 4
+        for a, b in zip(cold, warm):
+            assert a.records == b.records
+
+    def test_pairs_cached(self, cached):
+        specs = [PairSpec(app_name="WhatsApp", kind="chat", operator=LAB,
+                          duration_s=8.0, seed=60 + i) for i in range(2)]
+        cold = collect_pairs(specs)
+        assert runtime.stats().simulations == 2
+        warm = collect_pairs(specs)
+        assert runtime.stats().simulations == 2
+        for (a1, b1), (a2, b2) in zip(cold, warm):
+            assert a1.records == a2.records
+            assert b1.records == b2.records
+
+    def test_trace_and_pair_keyspaces_disjoint(self, cached):
+        # A single trace and a pair with identical parameters must not
+        # collide in the cache.
+        collect_trace("WhatsApp", operator=LAB, duration_s=8.0, seed=77)
+        pair = collect_pairs([PairSpec(app_name="WhatsApp", kind="chat",
+                                       operator=LAB, duration_s=8.0,
+                                       seed=77)])[0]
+        assert isinstance(pair, tuple) and len(pair) == 2
+
+    def test_stats_as_dict(self, cached):
+        collect_trace("Skype", operator=LAB, duration_s=8.0, seed=91)
+        snapshot = runtime.stats().as_dict()
+        assert snapshot["simulations"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["stores"] == 1
+
+    def test_disabled_cache_writes_nothing(self, tmp_path):
+        with runtime.overrides(cache_enabled=False, cache_dir=tmp_path):
+            collect_trace("YouTube", operator=LAB, duration_s=8.0, seed=3)
+        assert list(tmp_path.iterdir()) == []

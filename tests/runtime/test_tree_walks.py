@@ -1,0 +1,56 @@
+"""Iterative tree walks must survive trees deeper than the recursion limit."""
+
+import sys
+
+import numpy as np
+
+from repro.ml.forest import RandomForest
+from repro.ml.tree import DecisionTree, _Node
+
+
+def _deep_tree(depth: int) -> DecisionTree:
+    """A fitted-looking tree that is one long left spine."""
+    distribution = np.array([0.5, 0.5])
+    leaf = _Node(distribution=distribution)
+    root = leaf
+    for _ in range(depth):
+        root = _Node(distribution=distribution, feature=0, threshold=0.0,
+                     left=root, right=_Node(distribution=distribution))
+    tree = DecisionTree()
+    tree._root = root
+    tree.n_classes_ = 2
+    tree.n_features_ = 1
+    return tree
+
+
+def test_depth_beyond_recursion_limit():
+    depth = sys.getrecursionlimit() + 500
+    assert _deep_tree(depth).depth() == depth
+
+
+def test_node_count_beyond_recursion_limit():
+    depth = sys.getrecursionlimit() + 500
+    # A spine of `depth` internal nodes, each adding one right leaf,
+    # plus the terminal left leaf.
+    assert _deep_tree(depth).node_count() == 2 * depth + 1
+
+
+def test_feature_importances_beyond_recursion_limit():
+    depth = sys.getrecursionlimit() + 500
+    forest = RandomForest(n_trees=1)
+    forest.trees_ = [_deep_tree(depth)]
+    forest.n_classes_ = 2
+    importances = forest.feature_importances()
+    assert importances.shape == (1,)
+    assert importances[0] == 1.0
+
+
+def test_walks_agree_with_fitted_tree():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 5))
+    y = (X[:, 0] + X[:, 1] > 0).astype(np.int64)
+    tree = DecisionTree(max_depth=6, seed=1).fit(X, y)
+    assert 1 <= tree.depth() <= 6
+    # A binary tree with L leaves has 2L - 1 nodes.
+    count = tree.node_count()
+    assert count % 2 == 1 and count >= 3
