@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-smoke clean-cache
+.PHONY: test test-fast bench bench-features bench-smoke clean-cache
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -15,6 +15,12 @@ test-fast:
 ## Component micro-benchmarks with timing enabled (slow; writes results/).
 bench:
 	$(PYTHON) -m pytest benchmarks/test_component_speed.py -q
+
+## Columnar data-plane benchmarks only: feature extraction, trace
+## filters, tree fit, NPZ persistence (cf. BENCH_columnar.json).
+bench-features:
+	$(PYTHON) -m pytest benchmarks/test_component_speed.py -q \
+		-k "feature or filter or tree_fit or npz"
 
 ## Smoke run of the same benchmarks with timing assertions off — catches
 ## runtime-layer regressions (import errors, broken fan-out, cache bugs)

@@ -12,11 +12,13 @@ import numpy as np
 
 from repro import runtime
 from repro.core.dataset import collect_trace, collect_traces
-from repro.core.features import extract_features
-from repro.lte.dci import DCIFormat, DCIMessage
+from repro.core.features import WindowConfig, extract_features
+from repro.lte.dci import DCIFormat, DCIMessage, Direction
 from repro.ml.dtw import dtw_distance
 from repro.ml.forest import RandomForest
+from repro.ml.tree import DecisionTree
 from repro.operators import LAB
+from repro.sniffer.trace import TraceSet
 
 
 def test_simulate_one_trace(benchmark):
@@ -36,6 +38,56 @@ def test_feature_extraction_speed(benchmark):
     trace = collect_trace("YouTube", operator=LAB, duration_s=30.0, seed=1)
     X = benchmark(extract_features, trace)
     assert len(X) > 0
+
+
+def test_feature_extraction_overlapping_windows_speed(benchmark):
+    """Dense 25 ms stride: 4x the windows of the non-overlapping case."""
+    trace = collect_trace("YouTube", operator=LAB, duration_s=30.0, seed=1)
+    config = WindowConfig(window_ms=100.0, stride_ms=25.0)
+    X = benchmark(extract_features, trace, config)
+    assert len(X) > 0
+
+
+def test_trace_filter_speed(benchmark):
+    """The zero-copy mask/searchsorted filter chain on one real trace."""
+    trace = collect_trace("YouTube", operator=LAB, duration_s=30.0, seed=1)
+    wanted = {int(trace.rntis[0])}
+
+    def filters():
+        trace.direction_filtered(Direction.DOWNLINK)
+        trace.time_sliced(5.0, 25.0)
+        trace.rnti_filtered(wanted)
+        return trace.rebased()
+
+    filtered = benchmark(filters)
+    assert len(filtered) == len(trace)
+
+
+def test_tree_fit_speed(benchmark):
+    """Single CART fit at the seed dataset scale (index-partition path)."""
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(0.6 * k, 1.0, (250, 19)) for k in range(9)])
+    y = np.repeat(np.arange(9), 250)
+
+    def fit():
+        return DecisionTree(max_features="sqrt", seed=1).fit(X, y)
+
+    tree = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert tree.n_classes_ == 9
+
+
+def test_traceset_npz_round_trip_speed(benchmark, tmp_path):
+    """Batch NPZ persistence of a whole dataset (vs per-row CSV)."""
+    trace = collect_trace("YouTube", operator=LAB, duration_s=30.0, seed=1)
+    traces = TraceSet([trace] * 8)
+    path = tmp_path / "set.npz"
+
+    def round_trip():
+        traces.to_npz(path)
+        return TraceSet.from_npz(path)
+
+    loaded = benchmark(round_trip)
+    assert len(loaded) == 8
 
 
 def test_forest_training_speed(benchmark):

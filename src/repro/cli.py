@@ -61,6 +61,9 @@ def _build_parser() -> argparse.ArgumentParser:
     collect = sub.add_parser("collect", help="capture labelled traces")
     collect.add_argument("--out", type=Path, required=True,
                          help="output directory for trace CSVs")
+    collect.add_argument("--format", default="csv", choices=("csv", "npz"),
+                         help="csv: one file per trace (interchange); "
+                              "npz: one columnar archive (fast)")
     collect.add_argument("--operator", default="Lab",
                          help=f"environment ({', '.join(PROFILES)})")
     collect.add_argument("--apps", nargs="*", default=None,
@@ -76,7 +79,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train + evaluate on a trace dir")
     train.add_argument("--data", type=Path, required=True,
-                       help="directory of trace CSVs (from 'collect')")
+                       help="trace directory or .npz archive "
+                            "(from 'collect')")
     train.add_argument("--trees", type=int, default=40)
     train.add_argument("--window-ms", type=float, default=100.0)
     train.add_argument("--seed", type=int, default=1)
@@ -124,8 +128,14 @@ def _cmd_collect(args: argparse.Namespace) -> int:
                             traces_per_app=args.traces,
                             duration_s=args.duration, seed=args.seed,
                             background_count=args.background)
-    traces.save(args.out)
-    print(f"saved {len(traces)} traces to {args.out}")
+    if args.format == "npz":
+        out = args.out if args.out.suffix == ".npz" else args.out / "traces.npz"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        traces.to_npz(out)
+        print(f"saved {len(traces)} traces to {out}")
+    else:
+        traces.save(args.out)
+        print(f"saved {len(traces)} traces to {args.out}")
     return 0
 
 

@@ -10,12 +10,23 @@ window.  A window, not a frame, is the classifier's sample unit.
 Each non-empty window becomes one feature vector; the layout is fixed
 and named in :data:`FEATURE_NAMES` so models, importances and tests can
 refer to features symbolically.
+
+The implementation is fully vectorised over the trace's columnar
+arrays: all window bounds come from one batched ``searchsorted``, and
+every per-window statistic is computed with ``np.add.reduceat`` /
+``np.minimum.reduceat`` / ``np.maximum.reduceat`` over a gathered
+segment view — no Python-level loop over windows.  Integer-valued sums
+are exact in float64 under any accumulation order; fractional sums use
+``np.bincount``'s strictly sequential accumulation, so every value is
+bit-identical to a record-at-a-time implementation that accumulates one
+record after another (the golden equivalence suite in
+``tests/core/test_columnar_golden.py`` holds it to that, exactly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +90,28 @@ class WindowConfig:
         return self.stride_ms if self.stride_ms is not None else self.window_ms
 
 
+def _window_grid(start: float, end: float, stride_s: float
+                 ) -> np.ndarray:
+    """Window start times ``start + k * stride_s`` for every k with
+    a start ``<= end`` — the multiplication (not accumulation) keeps
+    window boundaries from drifting over long traces."""
+    # Over-generate candidates, then apply the exact loop condition so
+    # float rounding in the division can never add or drop a window.
+    guess = int(np.floor((end - start) / stride_s)) if end > start else 0
+    ks = np.arange(max(guess + 2, 2), dtype=np.float64)
+    starts = start + ks * stride_s
+    return starts[starts <= end]
+
+
+def _segment_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment sums (segments are adjacent; the last runs to the end).
+
+    Only for integer-valued data: reduceat's accumulation order is
+    unspecified, which is harmless exactly when every partial sum is an
+    integer float64 represents exactly."""
+    return np.add.reduceat(values, starts)
+
+
 def extract_features(trace: Trace,
                      config: Optional[WindowConfig] = None) -> np.ndarray:
     """Per-window feature matrix for one trace, shape (n_windows, N_FEATURES).
@@ -91,101 +124,134 @@ def extract_features(trace: Trace,
     config = config or WindowConfig()
     if config.direction is not None:
         trace = trace.direction_filtered(config.direction)
-    if not trace.records:
+    n = len(trace)
+    if n == 0:
         return np.empty((0, N_FEATURES), dtype=np.float64)
 
-    times = np.array([r.time_s for r in trace.records])
-    sizes = np.array([r.tbs_bytes for r in trace.records], dtype=np.float64)
-    downs = np.array([r.direction is Direction.DOWNLINK
-                      for r in trace.records], dtype=bool)
-    rntis = np.array([r.rnti for r in trace.records])
+    times = trace.times_s
+    sizes = trace.tbs_bytes.astype(np.float64)
+    downs = (trace.directions == int(Direction.DOWNLINK))
+    rntis = trace.rntis
 
     start = times[0]
+    end = times[-1]
     window_s = config.window_ms / 1000.0
     stride_s = config.effective_stride_ms / 1000.0
-    end = times[-1]
-    # Prefix sums for O(1) trailing-context queries.
-    size_prefix = np.concatenate([[0.0], np.cumsum(sizes)])
-    # Burst starts: indices where the gap to the previous record
-    # exceeds half a second (plus the very first record).
-    gaps_all = np.diff(times)
-    burst_starts = np.concatenate([[0], np.flatnonzero(gaps_all > 0.5) + 1])
-    rows: List[np.ndarray] = []
-    previous_end: Optional[float] = None
-    index = 0
-    while True:
-        # Multiplication (not accumulation) keeps window boundaries from
-        # drifting over long traces.
-        window_start = start + index * stride_s
-        if window_start > end:
-            break
-        window_end = window_start + window_s
-        lo = np.searchsorted(times, window_start, side="left")
-        hi = np.searchsorted(times, window_end, side="left")
-        if hi > lo:
-            context = _surrounding_context(times, size_prefix, burst_starts,
-                                           (window_start + window_end) / 2.0,
-                                           hi)
-            rows.append(_window_row(times[lo:hi], sizes[lo:hi],
-                                    downs[lo:hi], rntis[lo:hi],
-                                    window_start - start,
-                                    (window_start - previous_end)
-                                    if previous_end is not None else 0.0,
-                                    context))
-            previous_end = window_end
-        index += 1
-    if not rows:
+
+    # All window bounds from two batched searchsorted calls.
+    win_start = _window_grid(float(start), float(end), stride_s)
+    win_end = win_start + window_s
+    lo = np.searchsorted(times, win_start, side="left")
+    hi = np.searchsorted(times, win_end, side="left")
+    nonempty = hi > lo
+    if not nonempty.any():
         return np.empty((0, N_FEATURES), dtype=np.float64)
-    return np.vstack(rows)
+    win_start, win_end = win_start[nonempty], win_end[nonempty]
+    lo, hi = lo[nonempty], hi[nonempty]
+    m = len(lo)
+    counts = hi - lo
 
+    # Gather per-(window, record) segments so overlapping strides work:
+    # segment k occupies rows offsets[k]:offsets[k+1] of the flat view.
+    offsets = np.empty(m + 1, dtype=np.intp)
+    offsets[0] = 0
+    np.cumsum(counts, out=offsets[1:])
+    total_len = int(offsets[-1])
+    flat = (np.repeat(lo, counts)
+            + np.arange(total_len) - np.repeat(offsets[:-1], counts))
+    seg_starts = offsets[:-1]
 
-def _surrounding_context(times: np.ndarray, size_prefix: np.ndarray,
-                         burst_starts: np.ndarray, window_mid: float,
-                         hi: int) -> np.ndarray:
-    """Context features around one window (symmetric 1 s / 5 s spans)."""
-    lo_1s = np.searchsorted(times, window_mid - 0.5, side="left")
-    hi_1s = np.searchsorted(times, window_mid + 0.5, side="left")
-    lo_5s = np.searchsorted(times, window_mid - 2.5, side="left")
-    hi_5s = np.searchsorted(times, window_mid + 2.5, side="left")
-    frames_1s = float(hi_1s - lo_1s)
+    svals = sizes[flat]
+    tvals = times[flat]
+    dvals = downs[flat].astype(np.float64)
+    seg_ids = np.repeat(np.arange(m), counts)
+
+    # Sums of integer-valued columns are exact in float64 whatever the
+    # accumulation order, so reduceat is safe for them.  Sums of
+    # genuinely fractional values (squared deviations, time gaps) go
+    # through ``np.bincount`` instead: it accumulates strictly
+    # sequentially in element order, which a record-at-a-time reference
+    # reproduces add for add — see tests/core/test_columnar_golden.py.
+    counts_f = counts.astype(np.float64)
+    total = _segment_sum(svals, seg_starts)
+    mean = total / counts_f
+    dev = svals - np.repeat(mean, counts)
+    std = np.sqrt(np.bincount(seg_ids, weights=dev * dev,
+                              minlength=m) / counts_f)
+    size_min = np.minimum.reduceat(svals, seg_starts)
+    size_max = np.maximum.reduceat(svals, seg_starts)
+
+    # Interarrival gaps: a compact array holding each window's count-1
+    # in-window diffs (cross-segment diffs dropped).  Single-record
+    # windows have no gaps and report mean 0, std 0.
+    gap_counts = counts - 1
+    diffs = tvals[1:] - tvals[:-1]
+    keep = np.ones(max(total_len - 1, 0), dtype=bool)
+    keep[offsets[1:-1] - 1] = False        # last position of each segment
+    gap_flat = diffs[keep]
+    gap_ids = np.repeat(np.arange(m), gap_counts)
+    gap_denom = np.maximum(gap_counts.astype(np.float64), 1.0)
+    gap_mean = np.bincount(gap_ids, weights=gap_flat,
+                           minlength=m) / gap_denom
+    gap_dev = gap_flat - np.repeat(gap_mean, gap_counts)
+    gap_std = np.sqrt(np.bincount(gap_ids, weights=gap_dev * gap_dev,
+                                  minlength=m) / gap_denom)
+
+    down_count = _segment_sum(dvals, seg_starts)
+    down_frac = down_count / counts_f
+    down_bytes = _segment_sum(svals * dvals, seg_starts)
+    safe_total = np.where(total > 0, total, 1.0)
+    byte_frac = np.where(total > 0, down_bytes / safe_total, 0.0)
+
+    # Distinct RNTIs per window: stable-sort the gathered (segment,
+    # rnti) pairs and count value changes inside each segment.
+    rvals = rntis[flat]
+    order = np.lexsort((rvals, seg_ids))
+    r_sorted = rvals[order]
+    is_new = np.empty(total_len, dtype=np.float64)
+    is_new[0] = 1.0
+    if total_len > 1:
+        same_seg = seg_ids[order][1:] == seg_ids[order][:-1]
+        is_new[1:] = np.where(same_seg & (r_sorted[1:] == r_sorted[:-1]),
+                              0.0, 1.0)
+    rnti_switches = _segment_sum(is_new, seg_starts) - 1.0
+
+    cumulative_time = win_start - start
+    gap_since_prev = np.zeros(m, dtype=np.float64)
+    if m > 1:
+        gap_since_prev[1:] = np.maximum(0.0, win_start[1:] - win_end[:-1])
+
+    # -- surrounding context (prefix sums + batched searchsorted) ----------------
+    size_prefix = np.concatenate([[0.0], np.cumsum(sizes)])
+    mid = (win_start + win_end) / 2.0
+    lo_1s = np.searchsorted(times, mid - 0.5, side="left")
+    hi_1s = np.searchsorted(times, mid + 0.5, side="left")
+    lo_5s = np.searchsorted(times, mid - 2.5, side="left")
+    hi_5s = np.searchsorted(times, mid + 2.5, side="left")
+    frames_1s = (hi_1s - lo_1s).astype(np.float64)
     bytes_1s = size_prefix[hi_1s] - size_prefix[lo_1s]
-    frames_5s = float(hi_5s - lo_5s)
+    frames_5s = (hi_5s - lo_5s).astype(np.float64)
     bytes_5s = size_prefix[hi_5s] - size_prefix[lo_5s]
+
     # Current burst: the latest burst start at or before the last record
     # in the window; the burst ends where the next one starts.
+    gaps_all = np.diff(times)
+    burst_starts = np.concatenate([[0], np.flatnonzero(gaps_all > 0.5) + 1])
+    burst_bounds = np.append(burst_starts, n)
     burst_pos = np.searchsorted(burst_starts, hi - 1, side="right") - 1
     burst_lo = burst_starts[burst_pos]
-    burst_hi = (burst_starts[burst_pos + 1]
-                if burst_pos + 1 < len(burst_starts) else len(times))
+    burst_hi = burst_bounds[burst_pos + 1]
     burst_age = times[hi - 1] - times[burst_lo]
     burst_bytes = size_prefix[burst_hi] - size_prefix[burst_lo]
-    return np.array([frames_1s, bytes_1s, frames_5s, bytes_5s,
-                     burst_age, burst_bytes], dtype=np.float64)
 
-
-def _window_row(times: np.ndarray, sizes: np.ndarray, downs: np.ndarray,
-                rntis: np.ndarray, cumulative_time: float,
-                gap_since_prev: float, context: np.ndarray) -> np.ndarray:
-    count = len(times)
-    total = sizes.sum()
-    gaps = np.diff(times) if count > 1 else np.zeros(1)
-    down_bytes = sizes[downs].sum()
-    head = np.array([
-        count,
-        total,
-        sizes.mean(),
-        sizes.std(),
-        sizes.min(),
-        sizes.max(),
-        gaps.mean(),
-        gaps.std(),
-        downs.mean(),
-        (down_bytes / total) if total > 0 else 0.0,
-        cumulative_time,
-        max(0.0, gap_since_prev),
-        float(len(np.unique(rntis)) - 1),
-    ], dtype=np.float64)
-    return np.concatenate([head, context])
+    out = np.empty((m, N_FEATURES), dtype=np.float64)
+    for column, values in enumerate((
+            counts_f, total, mean, std, size_min, size_max, gap_mean,
+            gap_std, down_frac, byte_frac, cumulative_time, gap_since_prev,
+            rnti_switches, frames_1s, bytes_1s, frames_5s, bytes_5s,
+            burst_age, burst_bytes)):
+        out[:, column] = values
+    return out
 
 
 def volume_series(trace: Trace, bin_s: float = 1.0,
@@ -205,17 +271,15 @@ def volume_series(trace: Trace, bin_s: float = 1.0,
         raise ValueError(f"value must be 'frames' or 'bytes': {value!r}")
     if direction is not None:
         trace = trace.direction_filtered(direction)
-    if not trace.records:
+    if not len(trace):
         return np.zeros(0, dtype=np.float64)
-    times = np.array([r.time_s for r in trace.records])
+    times = trace.times_s
     start = times[0]
     n_bins = int(np.floor((times[-1] - start) / bin_s)) + 1
     indices = np.minimum(((times - start) / bin_s).astype(int), n_bins - 1)
-    out = np.zeros(n_bins, dtype=np.float64)
     if value == "frames":
-        np.add.at(out, indices, 1.0)
+        weights = None
     else:
-        sizes = np.array([r.tbs_bytes for r in trace.records],
-                         dtype=np.float64)
-        np.add.at(out, indices, sizes)
-    return out
+        weights = trace.tbs_bytes.astype(np.float64)
+    return np.bincount(indices, weights=weights,
+                       minlength=n_bins).astype(np.float64)

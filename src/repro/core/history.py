@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..apps import category_of, make_app
 from ..lte.network import LTENetwork
 from ..lte.rrc import HandoverEvent
@@ -78,25 +80,21 @@ def segment_episodes(trace: Trace, min_gap_s: float = 15.0,
     """
     if min_gap_s <= 0:
         raise ValueError(f"min_gap_s must be positive: {min_gap_s}")
-    episodes: List[Trace] = []
-    current: List = []
-    for record in trace.records:
-        if current and record.time_s - current[-1].time_s > min_gap_s:
-            episodes.append(current)
-            current = []
-        current.append(record)
-    if current:
-        episodes.append(current)
-    out = []
-    for records in episodes:
-        duration = records[-1].time_s - records[0].time_s
-        if duration < min_duration_s or len(records) < min_records:
+    times = trace.times_s
+    if not len(times):
+        return []
+    # Episode boundaries are exactly the gaps wider than min_gap_s.
+    breaks = np.flatnonzero(np.diff(times) > min_gap_s) + 1
+    bounds = np.concatenate([[0], breaks, [len(times)]])
+    out: List[Trace] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        duration = times[hi - 1] - times[lo]
+        if duration < min_duration_s or hi - lo < min_records:
             continue
-        episode = Trace(cell=trace.cell, user=trace.user,
-                        operator=trace.operator, day=trace.day)
-        for record in records:
-            episode.append(record)
-        out.append(episode)
+        out.append(Trace.from_arrays(
+            times[lo:hi], trace.rntis[lo:hi], trace.directions[lo:hi],
+            trace.tbs_bytes[lo:hi], validate=False, cell=trace.cell,
+            user=trace.user, operator=trace.operator, day=trace.day))
     return out
 
 

@@ -87,11 +87,10 @@ def _campaign(network_factory, apps, traces_per_app, duration_s, seed):
                 # fall back to per-RNTI traces and merge them by the
                 # simulator's ground truth for the *labelled dataset*
                 # (the training side owns its own UE, as in the paper).
-                merged = Trace(cell=sniffer.cell_id)
-                for rnti in sniffer.observed_rntis():
-                    for record in sniffer.trace_for_rnti(rnti).records:
-                        merged.records.append(record)
-                merged.records.sort(key=lambda r: r.time_s)
+                merged = Trace.merged(
+                    [sniffer.trace_for_rnti(rnti)
+                     for rnti in sniffer.observed_rntis()],
+                    cell=sniffer.cell_id)
                 trace = merged.rebased()
             else:
                 tmsi_leaks += len(

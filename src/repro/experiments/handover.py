@@ -67,12 +67,9 @@ def _handover_capture(app: str, operator: OperatorProfile,
     network.run_for(duration_s + 2.0)
     source = sniffers["src"].trace_for_tmsi(victim.tmsi).rebased()
     target = sniffers["dst"].trace_for_tmsi(victim.tmsi).rebased()
-    stitched = Trace()
-    records = (sniffers["src"].trace_for_tmsi(victim.tmsi).records
-               + sniffers["dst"].trace_for_tmsi(victim.tmsi).records)
-    for record in sorted(records, key=lambda r: r.time_s):
-        stitched.records.append(record)
-    stitched = stitched.rebased()
+    stitched = Trace.merged(
+        [sniffers["src"].trace_for_tmsi(victim.tmsi),
+         sniffers["dst"].trace_for_tmsi(victim.tmsi)]).rebased()
     for trace in (source, target, stitched):
         trace.label = app
         trace.category = category_of(app).value

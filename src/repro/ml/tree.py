@@ -38,6 +38,10 @@ def _resolve_max_features(max_features: Union[str, int, None],
                           n_features: int) -> int:
     if max_features is None:
         return n_features
+    if isinstance(max_features, bool):
+        # bool is an int subclass; without this check True would
+        # silently mean "one feature per split".
+        raise ValueError(f"max_features must not be a bool: {max_features!r}")
     if max_features == "sqrt":
         return max(1, int(np.sqrt(n_features)))
     if max_features == "log2":
@@ -94,76 +98,125 @@ class DecisionTree(Classifier):
         self._rng = random.Random(self.seed)
         self._max_features = _resolve_max_features(self.max_features,
                                                    self.n_features_)
-        onehot = np.zeros((len(y), self.n_classes_), dtype=np.float64)
-        onehot[np.arange(len(y)), y] = 1.0
-        self._root = self._build(X, y, onehot, depth=0)
+        # The whole fit works on one global index array that gets
+        # partitioned in place; children are (lo, hi) ranges of it, so
+        # no node ever copies its slice of X / y.
+        self._X = X
+        self._y = y
+        self._idx = np.arange(len(y), dtype=np.intp)
+        self._scratch = np.empty(len(y), dtype=np.intp)
+        self._root = self._build(0, len(y), depth=0)
+        del self._X, self._y, self._idx, self._scratch
         return self
 
-    def _build(self, X: np.ndarray, y: np.ndarray, onehot: np.ndarray,
-               depth: int) -> _Node:
-        counts = onehot.sum(axis=0)
-        distribution = counts / counts.sum()
+    def _build(self, lo: int, hi: int, depth: int) -> _Node:
+        idx = self._idx[lo:hi]
+        n = hi - lo
+        counts = np.bincount(self._y[idx],
+                             minlength=self.n_classes_).astype(np.float64)
+        distribution = counts / n
         node = _Node(distribution=distribution)
-        n = len(y)
         if (n < self.min_samples_split
                 or (self.max_depth is not None and depth >= self.max_depth)
                 or counts.max() == n):
             return node
-        split = self._best_split(X, onehot)
+        split = self._best_split(idx, counts)
         if split is None:
             return node
         feature, threshold = split
-        mask = X[:, feature] <= threshold
+        mask = self._X[idx, feature] <= threshold
+        n_left = int(np.count_nonzero(mask))
+        # Stable in-place partition through the shared scratch buffer.
+        scratch = self._scratch[lo:hi]
+        scratch[:n_left] = idx[mask]
+        scratch[n_left:] = idx[~mask]
+        idx[:] = scratch
         node.feature = feature
         node.threshold = threshold
-        node.left = self._build(X[mask], y[mask], onehot[mask], depth + 1)
-        node.right = self._build(X[~mask], y[~mask], onehot[~mask], depth + 1)
+        node.left = self._build(lo, lo + n_left, depth + 1)
+        node.right = self._build(lo + n_left, hi, depth + 1)
         return node
 
-    def _best_split(self, X: np.ndarray, onehot: np.ndarray):
-        """Exact gini-optimal (feature, threshold) or ``None``."""
-        n = len(X)
+    def _best_split(self, idx: np.ndarray, counts: np.ndarray):
+        """Exact gini-optimal (feature, threshold) or ``None``.
+
+        All candidate features are scored in one batch of axis-0 array
+        operations.  Instead of per-class prefix-count matrices, each
+        prefix's gini uses the sum of squared class counts maintained by
+        the exact integer recurrence ``ssq += 2 * seen_c + 1`` when one
+        element of class ``c`` crosses the split, which removes the
+        ``n_classes`` factor from the inner work entirely:
+
+            n * weighted_gini(i) = n - ssq_left(i) / size_left(i)
+                                     - ssq_right(i) / size_right(i)
+
+        so the best split simply maximises ``ssq_l / sl + ssq_r / sr``.
+        """
+        m = len(idx)
         features = list(range(self.n_features_))
         if self._max_features < self.n_features_:
             features = self._rng.sample(features, self._max_features)
+        min_leaf = self.min_samples_leaf
+        ssq_full = float(np.sum(counts * counts))
+        parent_gini = 1.0 - ssq_full / (float(m) * m)
+
+        # (m, f) value matrix of just the candidate columns, each column
+        # sorted with the same stable order the record-at-a-time code used.
+        cols = self._X[np.ix_(idx, np.asarray(features, dtype=np.intp))]
+        order = np.argsort(cols, axis=0, kind="stable")
+        values = np.take_along_axis(cols, order, axis=0)
+        labels = self._y[idx][order]
+
+        # Per column: how many earlier elements (in split order) share
+        # each element's class.  Group equal labels with a stable sort,
+        # rank inside each group, then scatter the ranks back.
+        by_label = np.argsort(labels, axis=0, kind="stable")
+        labels_sorted = np.take_along_axis(labels, by_label, axis=0)
+        rows = np.arange(m, dtype=np.int64)[:, None]
+        group_head = np.empty(labels_sorted.shape, dtype=bool)
+        group_head[0] = True
+        np.not_equal(labels_sorted[1:], labels_sorted[:-1],
+                     out=group_head[1:])
+        seen_sorted = rows - np.maximum.accumulate(
+            np.where(group_head, rows, 0), axis=0)
+        seen = np.empty_like(seen_sorted)
+        np.put_along_axis(seen, by_label, seen_sorted, axis=0)
+
+        # Exact integer sums of squared class counts for every prefix
+        # (all intermediate values are integers, exact in int64).
+        ssq_left = np.cumsum(2 * seen + 1, axis=0)
+        class_total = counts[labels]
+        ssq_right = ssq_full - np.cumsum(2 * (class_total - seen) - 1,
+                                         axis=0)
+
+        # Valid split positions: value changes and both children big
+        # enough.  Position i means left = order[:i+1].
+        sizes_left = np.arange(1.0, m)
+        sizes_right = m - sizes_left
+        score = (ssq_left[:-1] / sizes_left[:, None]
+                 + ssq_right[:-1] / sizes_right[:, None])
+        valid = values[:-1] < values[1:]
+        valid &= ((sizes_left >= min_leaf)
+                  & (sizes_right >= min_leaf))[:, None]
+        score[~valid] = -np.inf
+        positions = np.argmax(score, axis=0)
+        top = score[positions, np.arange(len(features))]
+
         best_gain = 1e-12
         best: Optional[tuple] = None
-        parent_counts = onehot.sum(axis=0)
-        parent_gini = 1.0 - np.sum((parent_counts / n) ** 2)
-        min_leaf = self.min_samples_leaf
-        for feature in features:
-            order = np.argsort(X[:, feature], kind="stable")
-            values = X[order, feature]
-            # Cumulative class counts for every prefix (split after i).
-            prefix = np.cumsum(onehot[order], axis=0)
-            total = prefix[-1]
-            sizes_left = np.arange(1, n + 1, dtype=np.float64)
-            sizes_right = n - sizes_left
-            # Valid split positions: value changes and both children big
-            # enough.  Position i means left = order[:i+1].
-            valid = np.empty(n, dtype=bool)
-            valid[:-1] = values[:-1] < values[1:]
-            valid[-1] = False
-            valid &= (sizes_left >= min_leaf) & (sizes_right >= min_leaf)
-            if not valid.any():
+        for j, feature in enumerate(features):
+            if not np.isfinite(top[j]):
                 continue
-            left = prefix[valid]
-            sl = sizes_left[valid]
-            sr = sizes_right[valid]
-            right = total - left
-            gini_left = 1.0 - np.sum((left / sl[:, None]) ** 2, axis=1)
-            gini_right = 1.0 - np.sum((right / sr[:, None]) ** 2, axis=1)
-            weighted = (sl * gini_left + sr * gini_right) / n
-            index = int(np.argmin(weighted))
-            gain = parent_gini - weighted[index]
+            gain = parent_gini - (m - top[j]) / m
             if gain > best_gain:
                 best_gain = gain
-                position = np.flatnonzero(valid)[index]
-                threshold = (values[position] + values[position + 1]) / 2.0
+                position = positions[j]
+                column = values[:, j]
+                threshold = (column[position] + column[position + 1]) / 2.0
                 # Guard against float rounding collapsing the midpoint
                 # onto the right value, which would empty a child.
-                if threshold >= values[position + 1]:
-                    threshold = values[position]
+                if threshold >= column[position + 1]:
+                    threshold = column[position]
                 best = (feature, float(threshold))
         return best
 

@@ -10,9 +10,10 @@ from .capture import CellSniffer
 from .dci_decoder import DCIDecoder
 from .identity import Binding, IdentityMapper, IMSICatcher
 from .owl import OWLTracker, RNTIActivity
-from .trace import Trace, TraceRecord, TraceSet
+from .trace import Trace, TraceBuilder, TraceRecord, TraceSet
 
 __all__ = [
     "Binding", "CellSniffer", "DCIDecoder", "IMSICatcher", "IdentityMapper",
-    "OWLTracker", "RNTIActivity", "Trace", "TraceRecord", "TraceSet",
+    "OWLTracker", "RNTIActivity", "Trace", "TraceBuilder", "TraceRecord",
+    "TraceSet",
 ]

@@ -4,17 +4,19 @@
 ("the attacker's sniffer is pre-installed within the target range of an
 LTE cell").  It wires together the DCI decoder, the OWL RNTI tracker
 and the identity mapper over one cell's radio feeds, and records every
-decoded DCI into per-RNTI traces.  Higher layers then ask for a
-specific *user's* traffic — merging the per-RNTI fragments across RNTI
-refreshes via the learned TMSI bindings, which is precisely the paper's
-"trace grouping" step (§V).
+decoded DCI into per-RNTI **columnar builders** — the decoder emits
+primitives, so the hot capture loop allocates no per-DCI objects.
+Higher layers then ask for a specific *user's* traffic — merging the
+per-RNTI fragments across RNTI refreshes via the learned TMSI bindings,
+which is precisely the paper's "trace grouping" step (§V).
 """
 
 from __future__ import annotations
 
 import random
-from collections import defaultdict
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..lte.channel import ChannelProfile
 from ..lte.network import LTENetwork
@@ -22,7 +24,7 @@ from ..lte.rrc import ControlMessage
 from .dci_decoder import DCIDecoder
 from .identity import IdentityMapper
 from .owl import OWLTracker
-from .trace import Trace, TraceRecord
+from .trace import Trace, TraceBuilder
 
 
 class CellSniffer:
@@ -37,9 +39,8 @@ class CellSniffer:
                                   rng=random.Random(seed))
         self.tracker = OWLTracker(confirm_threshold=confirm_threshold)
         self.mapper = IdentityMapper(cell=cell_id)
-        self._records_by_rnti: Dict[int, List[TraceRecord]] = defaultdict(list)
-        self.decoder.add_sink(self._on_record)
-        self.decoder.add_sink(self.tracker.on_record)
+        self._builders: Dict[int, TraceBuilder] = {}
+        self.decoder.add_raw_sink(self._on_dci)
         self._control_log: List[ControlMessage] = []
 
     # -- wiring -------------------------------------------------------------------
@@ -55,39 +56,53 @@ class CellSniffer:
         self.tracker.on_control(message)
         self.mapper.on_control(message)
 
-    def _on_record(self, record: TraceRecord) -> None:
-        self._records_by_rnti[record.rnti].append(record)
+    def _on_dci(self, time_s: float, rnti: int, direction: int,
+                tbs_bytes: int) -> None:
+        """Raw-sink callback: append primitives into per-RNTI buffers."""
+        self.tracker.on_dci(time_s, rnti)
+        builder = self._builders.get(rnti)
+        if builder is None:
+            builder = self._builders[rnti] = TraceBuilder()
+        builder.append(time_s, rnti, direction, tbs_bytes)
 
     # -- extraction ---------------------------------------------------------------------
 
     def observed_rntis(self) -> List[int]:
         """All RNTIs with at least one decoded record."""
-        return sorted(self._records_by_rnti)
+        return sorted(self._builders)
 
     def trace_for_rnti(self, rnti: int) -> Trace:
         """The raw trace of one RNTI (no identity merging)."""
-        trace = Trace(cell=self.cell_id)
-        for record in self._records_by_rnti.get(rnti, []):
-            trace.append(record)
-        return trace
+        builder = self._builders.get(rnti)
+        if builder is None:
+            return Trace(cell=self.cell_id)
+        return builder.build(cell=self.cell_id)
 
     def trace_for_tmsi(self, tmsi: int) -> Trace:
         """The merged trace of one *user* across all their RNTIs.
 
         Uses the identity mapper's binding intervals so that records of
         a recycled RNTI belonging to someone else are not swept in.
+        Each binding interval becomes a ``searchsorted`` slice of that
+        RNTI's columnar buffer; the fragments are merged with one
+        stable sort.
         """
-        bindings = self.mapper.bindings_for_tmsi(tmsi)
-        merged: List[TraceRecord] = []
-        for binding in bindings:
-            for record in self._records_by_rnti.get(binding.rnti, []):
-                if binding.covers(record.time_s):
-                    merged.append(record)
-        merged.sort(key=lambda r: r.time_s)
-        trace = Trace(cell=self.cell_id)
-        for record in merged:
-            trace.append(record)
-        return trace
+        fragments: List[Trace] = []
+        for binding in self.mapper.bindings_for_tmsi(tmsi):
+            builder = self._builders.get(binding.rnti)
+            if builder is None or not len(builder):
+                continue
+            times = builder.times_s
+            lo = int(np.searchsorted(times, binding.start_s, side="left"))
+            hi = (len(times) if binding.end_s is None
+                  else int(np.searchsorted(times, binding.end_s,
+                                           side="left")))
+            if hi > lo:
+                fragments.append(Trace.from_arrays(
+                    times[lo:hi], builder.rntis[lo:hi],
+                    builder.directions[lo:hi], builder.tbs_bytes[lo:hi],
+                    validate=False))
+        return Trace.merged(fragments, cell=self.cell_id)
 
     def control_log(self) -> List[ControlMessage]:
         """Every control message seen (for the attack-cost accounting)."""
@@ -95,4 +110,4 @@ class CellSniffer:
 
     @property
     def total_records(self) -> int:
-        return sum(len(v) for v in self._records_by_rnti.values())
+        return sum(len(v) for v in self._builders.values())

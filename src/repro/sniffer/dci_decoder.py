@@ -22,14 +22,20 @@ from ..lte.sim import to_seconds
 from .trace import TraceRecord
 
 RecordSink = Callable[[TraceRecord], None]
+#: Primitive sink: ``(time_s, rnti, direction, tbs_bytes)`` — the hot
+#: path used by the sniffer's columnar builders (no per-DCI objects).
+RawSink = Callable[[float, int, int, int], None]
 
 
 class DCIDecoder:
     """Decodes PDCCH transmissions into trace records.
 
     Attach :meth:`on_pdcch` to a cell via ``LTENetwork.observe``.
-    Decoded records flow to registered sinks; statistics are kept for
-    the attack-cost accounting and for tests.
+    Decoded DCIs flow to registered sinks; statistics are kept for the
+    attack-cost accounting and for tests.  Two sink flavours exist:
+    primitive *raw* sinks (the columnar emit path — no ``TraceRecord``
+    allocation per DCI) and record sinks (compatibility; a record is
+    built only if at least one is registered).
     """
 
     def __init__(self, capture_profile: Optional[ChannelProfile] = None,
@@ -39,12 +45,17 @@ class DCIDecoder:
                                        rng or random.Random(0))
         self._drop_non_crnti = drop_non_crnti
         self._sinks: List[RecordSink] = []
+        self._raw_sinks: List[RawSink] = []
         self.decoded = 0
         self.rejected = 0
 
     def add_sink(self, sink: RecordSink) -> None:
-        """Register a consumer of decoded records."""
+        """Register a consumer of decoded :class:`TraceRecord` objects."""
         self._sinks.append(sink)
+
+    def add_raw_sink(self, sink: RawSink) -> None:
+        """Register a primitive consumer ``(time_s, rnti, dir, tbs)``."""
+        self._raw_sinks.append(sink)
 
     def on_pdcch(self, transmission: PDCCHTransmission) -> None:
         """Observer callback: capture, blind-decode, fan out."""
@@ -62,12 +73,16 @@ class DCIDecoder:
         if self._drop_non_crnti and not is_crnti(dci.rnti):
             self.rejected += 1
             return
-        record = TraceRecord(time_s=to_seconds(transmission.time_us),
-                             rnti=dci.rnti, direction=dci.direction,
-                             tbs_bytes=dci.tbs_bytes)
         self.decoded += 1
-        for sink in self._sinks:
-            sink(record)
+        time_s = to_seconds(transmission.time_us)
+        for raw_sink in self._raw_sinks:
+            raw_sink(time_s, dci.rnti, int(dci.direction), dci.tbs_bytes)
+        if self._sinks:
+            record = TraceRecord(time_s=time_s, rnti=dci.rnti,
+                                 direction=dci.direction,
+                                 tbs_bytes=dci.tbs_bytes)
+            for sink in self._sinks:
+                sink(record)
 
     @property
     def capture_stats(self) -> dict:

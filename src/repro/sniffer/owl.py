@@ -66,10 +66,12 @@ class OWLTracker:
     # -- ingestion ---------------------------------------------------------------
 
     def on_record(self, record: TraceRecord) -> None:
-        """Feed one blind-decoded DCI record."""
-        now = record.time_s
+        """Feed one blind-decoded DCI record (compatibility wrapper)."""
+        self.on_dci(record.time_s, record.rnti)
+
+    def on_dci(self, now: float, rnti: int) -> None:
+        """Feed one blind-decoded DCI as primitives (the hot path)."""
         self._expire_stale(now)
-        rnti = record.rnti
         if not is_crnti(rnti):
             return
         activity = self._active.get(rnti)

@@ -1,0 +1,265 @@
+"""Golden equivalence suite for the columnar data plane.
+
+The columnar implementations of feature extraction and trace filtering
+must be **bit-identical** to straightforward record-at-a-time reference
+implementations: one window at a time, one record at a time, with the
+per-window statistics spelled out as plain numpy calls on that window's
+own little arrays (the formulation the original implementation used).
+Every assertion here is exact — ``np.array_equal``, never ``allclose``
+— over randomized traces plus the structural edge cases (empty trace,
+single record, duplicate timestamps, all-empty windows).
+"""
+
+import math
+import random
+from bisect import bisect_left
+
+import numpy as np
+import pytest
+
+from repro.core.features import (FEATURE_NAMES, N_FEATURES, WindowConfig,
+                                 extract_features, volume_series)
+from repro.lte.dci import Direction
+from repro.sniffer.trace import Trace, TraceRecord
+
+RNG_SEEDS = [0, 1, 2, 3, 4]
+
+
+def random_trace(seed, n=None, tmax=20.0, duplicates=False):
+    rng = random.Random(seed)
+    if n is None:
+        n = rng.choice([0, 1, 2, 3, 17, 200, 800])
+    times = sorted(rng.uniform(0.0, tmax) for _ in range(n))
+    if duplicates and n >= 4:
+        times[1] = times[0]
+        times[n // 2] = times[n // 2 - 1]
+    trace = Trace(label="app", category="cat", operator="Lab", cell="c0")
+    for t in times:
+        trace.append(TraceRecord(
+            time_s=t, rnti=rng.choice([0x100, 0x200, 0x300, 0x400]),
+            direction=rng.choice(list(Direction)),
+            tbs_bytes=rng.randint(0, 5_000)))
+    return trace
+
+
+def seq_sum(values):
+    """Strict left-to-right float accumulation, one value at a time."""
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+# -- record-at-a-time reference implementations -------------------------------------
+
+
+def ref_window_row(recs, cumulative_time, gap_since_prev, context):
+    count = len(recs)
+    sizes = [float(r.tbs_bytes) for r in recs]
+    total = seq_sum(sizes)
+    mean = total / count
+    # square via multiplication: float ** 2 goes through pow() and is
+    # not guaranteed to round identically to x * x
+    std = math.sqrt(
+        seq_sum([(s - mean) * (s - mean) for s in sizes]) / count)
+    gaps = [recs[i + 1].time_s - recs[i].time_s for i in range(count - 1)]
+    if gaps:
+        gap_mean = seq_sum(gaps) / len(gaps)
+        gap_std = math.sqrt(
+            seq_sum([(g - gap_mean) * (g - gap_mean) for g in gaps])
+            / len(gaps))
+    else:
+        gap_mean = gap_std = 0.0
+    down_count = seq_sum(
+        [1.0 if r.direction is Direction.DOWNLINK else 0.0 for r in recs])
+    down_bytes = seq_sum(
+        [s if r.direction is Direction.DOWNLINK else 0.0
+         for r, s in zip(recs, sizes)])
+    return [count, total, mean, std, min(sizes), max(sizes), gap_mean,
+            gap_std, down_count / count,
+            (down_bytes / total) if total > 0 else 0.0,
+            cumulative_time, max(0.0, gap_since_prev),
+            float(len({r.rnti for r in recs}) - 1)] + context
+
+
+def ref_extract_features(trace, config=None):
+    config = config or WindowConfig()
+    if config.direction is not None:
+        trace = trace.direction_filtered(config.direction)
+    records = trace.records
+    if not records:
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+    times = [r.time_s for r in records]
+    sizes = [float(r.tbs_bytes) for r in records]
+    prefix = [0.0]
+    for size in sizes:
+        prefix.append(prefix[-1] + size)
+    burst_starts = [0] + [i + 1 for i in range(len(times) - 1)
+                          if times[i + 1] - times[i] > 0.5]
+    start, end = times[0], times[-1]
+    window_s = config.window_ms / 1000.0
+    stride_s = config.effective_stride_ms / 1000.0
+    rows = []
+    previous_end = None
+    index = 0
+    while True:
+        ws = start + index * stride_s
+        if ws > end:
+            break
+        we = ws + window_s
+        lo = bisect_left(times, ws)
+        hi = bisect_left(times, we)
+        if hi > lo:
+            mid = (ws + we) / 2.0
+            lo1, hi1 = bisect_left(times, mid - 0.5), bisect_left(times, mid + 0.5)
+            lo5, hi5 = bisect_left(times, mid - 2.5), bisect_left(times, mid + 2.5)
+            pos = bisect_left(burst_starts, hi - 1)
+            if pos == len(burst_starts) or burst_starts[pos] != hi - 1:
+                pos -= 1
+            b_lo = burst_starts[pos]
+            b_hi = (burst_starts[pos + 1] if pos + 1 < len(burst_starts)
+                    else len(times))
+            context = [float(hi1 - lo1), prefix[hi1] - prefix[lo1],
+                       float(hi5 - lo5), prefix[hi5] - prefix[lo5],
+                       times[hi - 1] - times[b_lo],
+                       prefix[b_hi] - prefix[b_lo]]
+            rows.append(ref_window_row(
+                records[lo:hi], ws - start,
+                (ws - previous_end) if previous_end is not None else 0.0,
+                context))
+            previous_end = we
+        index += 1
+    if not rows:
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+    return np.array(rows, dtype=np.float64)
+
+
+def ref_volume_series(trace, bin_s=1.0, direction=None, value="frames"):
+    if direction is not None:
+        trace = trace.direction_filtered(direction)
+    records = trace.records
+    if not records:
+        return np.zeros(0, dtype=np.float64)
+    start = records[0].time_s
+    n_bins = int(math.floor((records[-1].time_s - start) / bin_s)) + 1
+    out = np.zeros(n_bins, dtype=np.float64)
+    for record in records:
+        idx = min(int((record.time_s - start) / bin_s), n_bins - 1)
+        out[idx] += 1.0 if value == "frames" else float(record.tbs_bytes)
+    return out
+
+
+CONFIGS = [WindowConfig(),
+           WindowConfig(stride_ms=25.0),
+           WindowConfig(window_ms=250.0, stride_ms=40.0),
+           WindowConfig(direction=Direction.DOWNLINK),
+           WindowConfig(window_ms=10.0, direction=Direction.UPLINK)]
+
+
+class TestExtractFeaturesGolden:
+    @pytest.mark.parametrize("seed", RNG_SEEDS)
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_randomized_bit_identical(self, seed, config):
+        trace = random_trace(seed, duplicates=(seed % 2 == 0))
+        expected = ref_extract_features(trace, config)
+        actual = extract_features(trace, config)
+        assert expected.shape == actual.shape
+        assert np.array_equal(expected, actual), \
+            np.argwhere(expected != actual)[:10]
+
+    def test_empty_trace(self):
+        assert extract_features(Trace()).shape == (0, N_FEATURES)
+
+    def test_single_record(self):
+        trace = Trace()
+        trace.append(TraceRecord(1.5, 0x100, Direction.DOWNLINK, 800))
+        assert np.array_equal(ref_extract_features(trace),
+                              extract_features(trace))
+
+    def test_all_duplicate_timestamps(self):
+        trace = Trace()
+        for rnti in (0x100, 0x200, 0x100):
+            trace.append(TraceRecord(2.0, rnti, Direction.UPLINK, 10))
+        assert np.array_equal(ref_extract_features(trace),
+                              extract_features(trace))
+
+    def test_direction_filter_can_empty_everything(self):
+        trace = Trace()
+        trace.append(TraceRecord(0.0, 0x100, Direction.UPLINK, 10))
+        config = WindowConfig(direction=Direction.DOWNLINK)
+        assert extract_features(trace, config).shape == (0, N_FEATURES)
+
+    def test_feature_count_matches_names(self):
+        trace = random_trace(7, n=50)
+        assert extract_features(trace).shape[1] == len(FEATURE_NAMES)
+
+
+class TestVolumeSeriesGolden:
+    @pytest.mark.parametrize("seed", RNG_SEEDS)
+    @pytest.mark.parametrize("value", ["frames", "bytes"])
+    def test_randomized_bit_identical(self, seed, value):
+        trace = random_trace(seed)
+        for bin_s in (1.0, 0.25):
+            assert np.array_equal(
+                ref_volume_series(trace, bin_s=bin_s, value=value),
+                volume_series(trace, bin_s=bin_s, value=value))
+
+    def test_direction_restricted(self):
+        trace = random_trace(11, n=120)
+        for direction in Direction:
+            assert np.array_equal(
+                ref_volume_series(trace, direction=direction),
+                volume_series(trace, direction=direction))
+
+
+class TestFilterGolden:
+    @pytest.mark.parametrize("seed", RNG_SEEDS)
+    def test_direction_filtered(self, seed):
+        trace = random_trace(seed, duplicates=True)
+        for direction in Direction:
+            expected = [r for r in trace.records if r.direction is direction]
+            assert trace.direction_filtered(direction).records == expected
+
+    @pytest.mark.parametrize("seed", RNG_SEEDS)
+    def test_time_sliced(self, seed):
+        trace = random_trace(seed)
+        for t0, t1 in ((0.0, 5.0), (5.0, 5.0), (3.3, 17.2), (25.0, 30.0)):
+            expected = [r for r in trace.records if t0 <= r.time_s < t1]
+            assert trace.time_sliced(t0, t1).records == expected
+
+    @pytest.mark.parametrize("seed", RNG_SEEDS)
+    def test_rnti_filtered(self, seed):
+        trace = random_trace(seed)
+        for wanted in ({0x100}, {0x200, 0x400}, set(), {0x999}):
+            expected = [r for r in trace.records if r.rnti in wanted]
+            assert trace.rnti_filtered(wanted).records == expected
+
+    @pytest.mark.parametrize("seed", RNG_SEEDS)
+    def test_rebased(self, seed):
+        trace = random_trace(seed)
+        rebased = trace.rebased()
+        if not len(trace):
+            assert len(rebased) == 0
+            return
+        t0 = trace.records[0].time_s
+        expected = [TraceRecord(r.time_s - t0, r.rnti, r.direction,
+                                r.tbs_bytes) for r in trace.records]
+        assert rebased.records == expected
+
+    def test_filters_do_not_mutate_parent(self):
+        trace = random_trace(3, n=60)
+        before = trace.records
+        trace.direction_filtered(Direction.DOWNLINK)
+        trace.time_sliced(1.0, 9.0)
+        trace.rnti_filtered({0x100})
+        trace.rebased()
+        assert trace.records == before
+
+    def test_append_after_slice_keeps_views_intact(self):
+        # time_sliced shares storage; appending to the parent afterwards
+        # must copy-on-write rather than corrupt the child.
+        trace = random_trace(4, n=40)
+        child = trace.time_sliced(0.0, 50.0)
+        snapshot = child.records
+        trace.append(TraceRecord(100.0, 0x100, Direction.UPLINK, 1))
+        assert child.records == snapshot

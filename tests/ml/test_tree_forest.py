@@ -125,6 +125,12 @@ class TestDecisionTree:
         with pytest.raises(ValueError):
             DecisionTree(max_features="cube").fit(*blobs(d=4))
 
+    def test_max_features_bool_rejected(self):
+        # bool is an int subclass: True must not silently mean 1.
+        for flag in (True, False):
+            with pytest.raises(ValueError, match="bool"):
+                DecisionTree(max_features=flag).fit(*blobs(d=4))
+
     def test_exact_split_on_crafted_data(self):
         """One feature perfectly splits at 0.5 — the tree must find it."""
         X = np.array([[0.0, 7.0], [0.2, 3.0], [0.9, 5.0], [1.0, 1.0]])

@@ -56,7 +56,7 @@ class TestTrace:
         trace = Trace()
         assert trace.duration_s == 0.0
         assert trace.total_bytes == 0
-        assert trace.interarrival_times() == []
+        assert len(trace.interarrival_times()) == 0
 
     def test_interarrival_times(self):
         times = small_trace().interarrival_times()
