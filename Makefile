@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-features bench-smoke clean-cache
+.PHONY: test test-fast bench bench-features bench-smoke clean-cache report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -32,3 +32,9 @@ bench-smoke:
 ## Drop every entry from the on-disk trace cache.
 clean-cache:
 	$(PYTHON) -m repro.cli cache --clear
+
+## Render the JSONL run manifests written by --obs-out
+## (override the file with `make report OBS_OUT=path/to/runs.jsonl`).
+OBS_OUT ?= runs.jsonl
+report:
+	$(PYTHON) -m repro.cli report $(OBS_OUT)

@@ -10,11 +10,14 @@ harness:
 * ``experiment`` — regenerate a paper table/figure by name;
 * ``bench`` — run the component micro-benchmarks once (timings off);
 * ``cache`` — inspect or clear the on-disk trace cache;
+* ``report`` — render JSONL run manifests written by ``--obs-out``;
 * ``list`` — show registered apps, operators, and experiments.
 
 Heavy commands take ``--workers`` (or ``REPRO_WORKERS``) to fan trace
-simulation / forest fitting out over processes, and ``--no-cache`` /
-``--cache-dir`` to control the on-disk trace cache.
+simulation / forest fitting out over processes, ``--no-cache`` /
+``--cache-dir`` to control the on-disk trace cache, and
+``--obs-out PATH`` to enable observability collection (see
+:mod:`repro.obs`) and append a run manifest line to ``PATH``.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from . import runtime
+from . import obs, runtime
 from .apps import app_names
 from .operators import PROFILES, get_profile
 
@@ -40,10 +43,17 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--cache-dir", type=Path, default=None,
                        help="trace cache directory "
                             "(default: REPRO_TRACE_CACHE_DIR or XDG cache)")
+    group.add_argument("--obs-out", type=Path, default=None,
+                       help="enable observability and append a JSONL run "
+                            "manifest to this file (see 'repro report')")
 
 
 def _configure_runtime(args: argparse.Namespace) -> None:
-    """Apply --workers/--no-cache/--cache-dir to the process runtime."""
+    """Apply --workers/--no-cache/--cache-dir/--obs-out to the runtime."""
+    # Enable collection *before* any pipeline component is constructed:
+    # instruments are fetched at __init__ time.
+    if getattr(args, "obs_out", None) is not None:
+        obs.enable()
     runtime.configure(
         workers=getattr(args, "workers", None),
         cache_enabled=False if getattr(args, "no_cache", False) else None,
@@ -115,11 +125,20 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", type=Path, default=None,
                        help="cache directory to operate on")
 
+    report = sub.add_parser(
+        "report", help="render run manifests written by --obs-out")
+    report.add_argument("path", type=Path,
+                        help="JSONL manifest file (from --obs-out)")
+    report.add_argument("--last", type=int, default=None, metavar="N",
+                        help="only render the last N runs")
+    report.add_argument("--json", action="store_true",
+                        help="emit raw JSON lines instead of tables")
+
     sub.add_parser("list", help="show apps, operators, experiments")
     return parser
 
 
-def _cmd_collect(args: argparse.Namespace) -> int:
+def _cmd_collect(args: argparse.Namespace, manifest=None) -> int:
     from .core.dataset import collect_traces
 
     apps = args.apps or list(app_names())
@@ -136,10 +155,13 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     else:
         traces.save(args.out)
         print(f"saved {len(traces)} traces to {args.out}")
+    if manifest is not None:
+        manifest.set_result({"traces": len(traces),
+                             "records": sum(len(t) for t in traces)})
     return 0
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
+def _cmd_train(args: argparse.Namespace, manifest=None) -> int:
     from .core.dataset import windows_from_traces
     from .core.features import WindowConfig
     from .core.fingerprint import HierarchicalFingerprinter
@@ -170,6 +192,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     predictions = model.predict_apps(X_test)
     print(classification_report(y_test, predictions,
                                 windows.app_encoder.classes_))
+    if manifest is not None:
+        from .ml.metrics import accuracy
+
+        manifest.set_result({"test_windows": len(X_test),
+                             "accuracy": accuracy(y_test, predictions)})
     return 0
 
 
@@ -222,7 +249,26 @@ _EXPERIMENTS = {
 }
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _result_summary(result) -> dict:
+    """Cheap manifest summary: the scalar fields of a result dataclass."""
+    import dataclasses
+
+    out = {}
+    if dataclasses.is_dataclass(result):
+        for field in dataclasses.fields(result):
+            value = getattr(result, field.name)
+            if isinstance(value, (str, int, float, bool)):
+                out[field.name] = value
+    mean_f = getattr(result, "mean_f", None)
+    if callable(mean_f):
+        try:
+            out["mean_f"] = float(mean_f())
+        except Exception:
+            pass
+    return out
+
+
+def _cmd_experiment(args: argparse.Namespace, manifest=None) -> int:
     import importlib
 
     if args.name == "ablation":
@@ -241,6 +287,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                                      package="repro")
     result = getattr(module, func)(args.scale)
     print(result.table())
+    if manifest is not None:
+        summary = _result_summary(result)
+        if summary:
+            manifest.set_result(summary)
     return 0
 
 
@@ -291,6 +341,31 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the run manifests appended by ``--obs-out``."""
+    import json
+
+    from .obs import manifest as manifest_mod
+
+    if not args.path.exists():
+        print(f"no manifest file at {args.path}", file=sys.stderr)
+        return 1
+    lines = manifest_mod.read_manifests(args.path)
+    if not lines:
+        print(f"no runs recorded in {args.path}", file=sys.stderr)
+        return 1
+    if args.last is not None:
+        lines = lines[-args.last:]
+    for index, line in enumerate(lines):
+        if index:
+            print()
+        if args.json:
+            print(json.dumps(line, sort_keys=True))
+        else:
+            print(manifest_mod.render_manifest(line))
+    return 0
+
+
 def _cmd_list() -> int:
     print("apps:")
     for name in app_names():
@@ -304,23 +379,35 @@ def _cmd_list() -> int:
     return 0
 
 
+def _manifest_params(args: argparse.Namespace) -> dict:
+    """The run parameters recorded in a manifest line."""
+    skip = {"command", "obs_out"}
+    return {key: value for key, value in sorted(vars(args).items())
+            if key not in skip and value is not None}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .obs.manifest import run_scope
+
     args = _build_parser().parse_args(argv)
     if args.command in ("collect", "train", "experiment", "bench"):
         _configure_runtime(args)
-    if args.command == "collect":
-        return _cmd_collect(args)
-    if args.command == "train":
-        return _cmd_train(args)
+        with run_scope(args.command, _manifest_params(args),
+                       out=args.obs_out) as manifest:
+            if args.command == "collect":
+                return _cmd_collect(args, manifest)
+            if args.command == "train":
+                return _cmd_train(args, manifest)
+            if args.command == "experiment":
+                return _cmd_experiment(args, manifest)
+            return _cmd_bench(args)
     if args.command == "classify":
         return _cmd_classify(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import runtime
+from .. import obs, runtime
 from ..lte.dci import Direction
 from ..ml.dtw import similarity_score
 from ..ml.logistic import BinaryLogisticRegression
@@ -194,7 +194,9 @@ def similarity_matrix(traces: Sequence[Trace], bin_s: float = 1.0,
     pairs = [(i, j) for i in range(n) for j in range(i, n)]
     work = functools.partial(_matrix_cell, traces=trace_list, bin_s=bin_s,
                              dtw_window=dtw_window)
-    values = runtime.mapper(workers).map(work, pairs)
+    with obs.span("dtw.similarity_matrix"):
+        obs.counter("ml.dtw.pairs_scored").inc(len(pairs))
+        values = runtime.mapper(workers).map(work, pairs)
     matrix = np.zeros((n, n), dtype=np.float64)
     for (i, j), value in zip(pairs, values):
         matrix[i, j] = value

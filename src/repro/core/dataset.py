@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import BackgroundMix, category_of, make_app
 from ..apps.paired import make_chat_pair
 from ..apps.voip import make_call_pair
@@ -142,35 +142,38 @@ def collect_traces(app_names: Sequence[str],
                           seed * 104_729 + counter * 7919 + repeat))
             counter += 1
     settle_s = 2.0
-    cache = runtime.trace_cache()
-    results: List[Optional[Trace]] = [None] * len(specs)
-    pending: List[Tuple[int, Tuple[str, int]]] = []
-    for index, (app_name, item_seed) in enumerate(specs):
-        if cache is not None:
-            key = _trace_key(cache, app_name, operator, duration_s,
-                             item_seed, day, background_count, settle_s)
-            hit = cache.get(key)
-            if hit is not None:
-                results[index] = hit
-                continue
-        pending.append((index, (app_name, item_seed)))
-    if pending:
-        work = functools.partial(
-            _simulate_trace_task, operator=operator, duration_s=duration_s,
-            day=day, background_count=background_count, settle_s=settle_s)
-        simulated = runtime.mapper(workers).map(
-            work, [spec for _, spec in pending])
-        runtime.record_simulations(len(pending))
-        for (index, (app_name, item_seed)), trace in zip(pending, simulated):
-            results[index] = trace
+    with obs.span("dataset.collect_traces"):
+        cache = runtime.trace_cache()
+        results: List[Optional[Trace]] = [None] * len(specs)
+        pending: List[Tuple[int, Tuple[str, int]]] = []
+        for index, (app_name, item_seed) in enumerate(specs):
             if cache is not None:
-                cache.put(_trace_key(cache, app_name, operator, duration_s,
-                                     item_seed, day, background_count,
-                                     settle_s), trace)
-    traces = TraceSet()
-    for trace in results:
-        traces.add(trace)
-    return traces
+                key = _trace_key(cache, app_name, operator, duration_s,
+                                 item_seed, day, background_count, settle_s)
+                hit = cache.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            pending.append((index, (app_name, item_seed)))
+        if pending:
+            work = functools.partial(
+                _simulate_trace_task, operator=operator,
+                duration_s=duration_s, day=day,
+                background_count=background_count, settle_s=settle_s)
+            simulated = runtime.mapper(workers).map(
+                work, [spec for _, spec in pending])
+            runtime.record_simulations(len(pending))
+            for (index, (app_name, item_seed)), trace in zip(pending,
+                                                             simulated):
+                results[index] = trace
+                if cache is not None:
+                    cache.put(_trace_key(cache, app_name, operator,
+                                         duration_s, item_seed, day,
+                                         background_count, settle_s), trace)
+        traces = TraceSet()
+        for trace in results:
+            traces.add(trace)
+        return traces
 
 
 def _pair_key(cache, app_name: str, kind: str, operator: OperatorProfile,
@@ -281,30 +284,31 @@ def collect_pairs(specs: Sequence[PairSpec],
     fully seeded campaigns; like :func:`collect_traces`, results come
     back in spec order bit-identical to a serial run.
     """
-    cache = runtime.trace_cache()
-    results: List[Optional[Tuple[Trace, Trace]]] = [None] * len(specs)
-    pending: List[int] = []
-    for index, spec in enumerate(specs):
-        if cache is not None:
-            hit = cache.get(_pair_key(cache, spec.app_name, spec.kind,
-                                      spec.operator, spec.duration_s,
-                                      spec.seed, spec.day))
-            if hit is not None:
-                results[index] = hit
-                continue
-        pending.append(index)
-    if pending:
-        simulated = runtime.mapper(workers).map(
-            _simulate_pair_task, [specs[index] for index in pending])
-        runtime.record_simulations(len(pending))
-        for index, pair in zip(pending, simulated):
-            results[index] = pair
+    with obs.span("dataset.collect_pairs"):
+        cache = runtime.trace_cache()
+        results: List[Optional[Tuple[Trace, Trace]]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
             if cache is not None:
-                spec = specs[index]
-                cache.put(_pair_key(cache, spec.app_name, spec.kind,
-                                    spec.operator, spec.duration_s,
-                                    spec.seed, spec.day), pair)
-    return results
+                hit = cache.get(_pair_key(cache, spec.app_name, spec.kind,
+                                          spec.operator, spec.duration_s,
+                                          spec.seed, spec.day))
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            pending.append(index)
+        if pending:
+            simulated = runtime.mapper(workers).map(
+                _simulate_pair_task, [specs[index] for index in pending])
+            runtime.record_simulations(len(pending))
+            for index, pair in zip(pending, simulated):
+                results[index] = pair
+                if cache is not None:
+                    spec = specs[index]
+                    cache.put(_pair_key(cache, spec.app_name, spec.kind,
+                                        spec.operator, spec.duration_s,
+                                        spec.seed, spec.day), pair)
+        return results
 
 
 @dataclass
@@ -350,6 +354,16 @@ def windows_from_traces(traces: TraceSet,
     Encoders may be passed in so train and test sets share label ids
     (mandatory when evaluating a trained model on a later capture).
     """
+    with obs.span("dataset.windows"):
+        return _windows_from_traces(traces, config, app_encoder,
+                                    category_encoder)
+
+
+def _windows_from_traces(traces: TraceSet,
+                         config: Optional[WindowConfig] = None,
+                         app_encoder: Optional[LabelEncoder] = None,
+                         category_encoder: Optional[LabelEncoder] = None,
+                         ) -> LabeledWindows:
     X_parts: List[np.ndarray] = []
     app_names: List[str] = []
     category_names: List[str] = []

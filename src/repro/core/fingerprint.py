@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..ml.forest import RandomForest
 from ..sniffer.trace import Trace
 from .dataset import LabeledWindows
@@ -69,23 +70,25 @@ class HierarchicalFingerprinter:
 
     def fit(self, windows: LabeledWindows) -> "HierarchicalFingerprinter":
         """Train on a labelled window dataset."""
-        self._windows = windows
-        if not self.hierarchical:
-            self._flat_model = self._make_forest(0)
-            self._flat_model.fit(windows.X, windows.app_labels)
-            return self
-        self._category_model = self._make_forest(0)
-        self._category_model.fit(windows.X, windows.category_labels,
-                                 n_classes=windows.category_encoder.n_classes)
-        self._app_models = {}
-        for category_id in range(windows.category_encoder.n_classes):
-            mask = windows.category_labels == category_id
-            if not mask.any():
-                continue
-            model = self._make_forest(1 + category_id)
-            model.fit(windows.X[mask], windows.app_labels[mask],
-                      n_classes=windows.app_encoder.n_classes)
-            self._app_models[category_id] = model
+        with obs.span("fingerprint.fit"):
+            self._windows = windows
+            if not self.hierarchical:
+                self._flat_model = self._make_forest(0)
+                self._flat_model.fit(windows.X, windows.app_labels)
+                return self
+            self._category_model = self._make_forest(0)
+            self._category_model.fit(
+                windows.X, windows.category_labels,
+                n_classes=windows.category_encoder.n_classes)
+            self._app_models = {}
+            for category_id in range(windows.category_encoder.n_classes):
+                mask = windows.category_labels == category_id
+                if not mask.any():
+                    continue
+                model = self._make_forest(1 + category_id)
+                model.fit(windows.X[mask], windows.app_labels[mask],
+                          n_classes=windows.app_encoder.n_classes)
+                self._app_models[category_id] = model
         return self
 
     @property
@@ -116,14 +119,15 @@ class HierarchicalFingerprinter:
         window the way argmax routing would.
         """
         windows = self._require_fit()
-        if not self.hierarchical:
-            return self._flat_model.predict(X)
-        category_proba = self._category_model.predict_proba(X)
-        scores = np.zeros((len(X), windows.app_encoder.n_classes))
-        for category_id, model in self._app_models.items():
-            scores += (category_proba[:, category_id:category_id + 1]
-                       * model.predict_proba(X))
-        return np.argmax(scores, axis=1)
+        with obs.span("fingerprint.predict"):
+            if not self.hierarchical:
+                return self._flat_model.predict(X)
+            category_proba = self._category_model.predict_proba(X)
+            scores = np.zeros((len(X), windows.app_encoder.n_classes))
+            for category_id, model in self._app_models.items():
+                scores += (category_proba[:, category_id:category_id + 1]
+                           * model.predict_proba(X))
+            return np.argmax(scores, axis=1)
 
     # -- trace-level verdicts ----------------------------------------------------------
 

@@ -11,7 +11,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -36,6 +36,7 @@ class HierarchyAblation:
                             title="Ablation — hierarchical vs flat")
 
 
+@obs.timed("experiment.ablation.hierarchy")
 def run_hierarchy(scale="fast", seed: int = 113,
                   operator: OperatorProfile = LAB,
                   workers: Optional[int] = None) -> HierarchyAblation:
@@ -88,6 +89,7 @@ class ForestAblation:
         return f"{trees}\n\n{feats}"
 
 
+@obs.timed("experiment.ablation.forest")
 def run_forest(scale="fast", seed: int = 127,
                operator: OperatorProfile = LAB,
                tree_counts: Tuple[int, ...] = (5, 10, 20, 40, 80),

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import obs
 from ..apps import app_names
 from ..core.costmodel import (AttackScenario, AttackerCostModel, UnitCosts,
                               deployment_cost_usd)
@@ -83,6 +84,7 @@ def measure_unit_costs(operator: OperatorProfile = TMOBILE,
                      classify_per_instance=classify_s)
 
 
+@obs.timed("experiment.cost")
 def run(scale="fast", seed: int = 3,
         drift_period_days: Optional[int] = 7,
         n_cells: int = 3) -> CostResult:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..apps import app_names, category_of, make_app
 from ..core.dataset import windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -90,6 +91,7 @@ def _collect_defended(app_name: str, operator: OperatorProfile,
     return trace, coverage, overhead
 
 
+@obs.timed("experiment.countermeasures")
 def run(scale="fast", seed: int = 131,
         operator: OperatorProfile = LAB,
         defences: Optional[Tuple] = None) -> CountermeasureResult:

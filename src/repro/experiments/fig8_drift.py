@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..apps import AppCategory, apps_in_category
 from ..core.drift import DriftPoint, days_until_below, fscore_over_days
 from ..operators.profiles import TMOBILE, OperatorProfile
@@ -40,6 +41,7 @@ class DriftResult:
         return [p.f_score for p in self.points]
 
 
+@obs.timed("experiment.fig8")
 def run(scale="fast", seed: int = 71,
         operator: OperatorProfile = TMOBILE,
         apps: Optional[Sequence[str]] = None,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -47,6 +47,7 @@ class NoiseResult:
         return self.f_scores[0] - self.f_scores[-1]
 
 
+@obs.timed("experiment.fig9")
 def run(scale="fast", seed: int = 83, target_app: str = "YouTube",
         operator: OperatorProfile = TMOBILE,
         levels: Optional[Tuple[int, ...]] = None,

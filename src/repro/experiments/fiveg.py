@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from .. import obs
 from ..apps import app_names, category_of, make_app
 from ..core.dataset import windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -115,6 +116,7 @@ def _fscore(train: TraceSet, test: TraceSet, n_trees: int,
                          n_classes=windows.app_encoder.n_classes)
 
 
+@obs.timed("experiment.fiveg")
 def run(scale="fast", seed: int = 151,
         operator: OperatorProfile = LAB) -> FiveGResult:
     """Measure attack transfer from LTE to NR."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from .. import obs
 from ..apps import app_names, category_of, make_app
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -77,6 +78,7 @@ def _handover_capture(app: str, operator: OperatorProfile,
             "stitched (cross-cell)": stitched}
 
 
+@obs.timed("experiment.handover")
 def run(scale="fast", seed: int = 171,
         operator: OperatorProfile = LAB) -> HandoverResult:
     """Train a normal model, evaluate on handover-interrupted sessions."""

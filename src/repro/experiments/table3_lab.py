@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.features import WindowConfig
@@ -98,6 +98,7 @@ def run_fingerprinting(operator: OperatorProfile, scale: Scale,
                              apps=apps)
 
 
+@obs.timed("experiment.table3")
 def run(scale="fast", seed: int = 11,
         operator: Optional[OperatorProfile] = None,
         workers: Optional[int] = None) -> FingerprintResult:

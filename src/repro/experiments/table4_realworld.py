@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import app_names
 from ..lte.dci import Direction
 from ..operators.profiles import CARRIERS
@@ -50,6 +50,7 @@ class RealWorldResult:
         return sum(values) / len(values)
 
 
+@obs.timed("experiment.table4")
 def run(scale="fast", seed: int = 23,
         workers: Optional[int] = None) -> RealWorldResult:
     """Reproduce Table IV across Verizon, AT&T, and T-Mobile."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.fingerprint import HierarchicalFingerprinter
@@ -89,6 +89,7 @@ def build_visits(scale: Scale, gap_s: float = 60.0) -> List[ZoneVisit]:
     return visits
 
 
+@obs.timed("experiment.table5")
 def run(scale="fast", seed: int = 31,
         operator: OperatorProfile = TMOBILE,
         use_imsi_catcher: bool = True,

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import AppCategory, apps_in_category
 from ..core.correlation import CorrelationAttack
 from ..core.dataset import PairSpec, collect_pairs
@@ -60,6 +60,7 @@ class SimilarityResult:
         return float(np.mean([self.scores[env][a][0] for a in self.apps]))
 
 
+@obs.timed("experiment.table6")
 def run(scale="fast", seed: int = 41, bin_s: float = 1.0,
         workers: Optional[int] = None) -> SimilarityResult:
     """Reproduce Table VI across environments and apps.

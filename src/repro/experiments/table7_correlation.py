@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import runtime
+from .. import obs, runtime
 from ..core.correlation import CorrelationAttack, precision_recall
 from ..core.dataset import PairSpec, collect_pairs
 from ..operators.profiles import OperatorProfile
@@ -78,6 +78,7 @@ def _pairs_for(app: str, kind: str, environment: OperatorProfile,
     return positives, negatives
 
 
+@obs.timed("experiment.table7")
 def run(scale="fast", seed: int = 53,
         workers: Optional[int] = None) -> CorrelationResult:
     """Reproduce Table VII across environments and apps."""

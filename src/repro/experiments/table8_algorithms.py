@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..ml.crossval import train_test_split, tune_knn_k
@@ -64,6 +64,7 @@ class AlgorithmResult:
         return sorted(self.averages, key=self.averages.get, reverse=True)
 
 
+@obs.timed("experiment.table8")
 def run(scale="fast", seed: int = 67,
         operator: OperatorProfile = TMOBILE,
         cnn_epochs: int = 25,

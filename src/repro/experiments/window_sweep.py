@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .. import runtime
+from .. import obs, runtime
 from ..apps import app_names
 from ..core.dataset import collect_traces, windows_from_traces
 from ..core.features import WindowConfig
@@ -44,6 +44,7 @@ class WindowSweepResult:
         return self.sizes_ms[index]
 
 
+@obs.timed("experiment.window")
 def run(scale="fast", seed: int = 97,
         operator: OperatorProfile = LAB,
         sizes_ms: Tuple[float, ...] = WINDOW_SIZES_MS,

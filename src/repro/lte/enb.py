@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from .. import obs
 from .channel import ChannelProfile, UELink
 from .dci import DCIFormat, DCIMessage, Direction, PDCCHTransmission
 from .identifiers import RA_RNTI_MAX, RA_RNTI_MIN, RNTIAllocator
@@ -117,6 +118,10 @@ class ENodeB:
         self.grants_issued = 0
         self.bytes_granted = 0
         self.harq_retransmissions = 0
+        # Registry counters for the demand-driven TTI loop (how much
+        # air time the simulator actually scheduled vs skipped).
+        self._ttis_obs = obs.counter("sim.ttis")
+        self._grants_obs = obs.counter("sim.grants")
 
     # -- observer plumbing ----------------------------------------------------
 
@@ -359,6 +364,7 @@ class ENodeB:
                                                encoded=dci.encode()))
             self.harq_retransmissions += 1
             self.grants_issued += 1
+            self._grants_obs.inc()
             self._maybe_retransmit(dci, attempt + 1)
 
         self._clock.schedule(self._HARQ_RTT_TTIS * self._tti_us, retransmit)
@@ -380,6 +386,7 @@ class ENodeB:
 
     def _on_tti(self) -> None:
         now = self._clock.now_us
+        self._ttis_obs.inc()
         occupied = self._cross_traffic.occupied_prb(self._total_prb, self._rng)
         available = max(1, self._total_prb - occupied)
         any_backlog = False
@@ -404,6 +411,7 @@ class ENodeB:
                 context.drain(direction, allocation.tbs_bytes)
                 context.last_activity_us = now
                 self.grants_issued += 1
+                self._grants_obs.inc()
                 self.bytes_granted += allocation.tbs_bytes
                 if self._profile.harq_bler > 0.0:
                     self._maybe_retransmit(dci, attempt=1)

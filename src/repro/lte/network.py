@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from .. import obs
 from .cell import Cell, MobilityStep, validate_itinerary
 from .channel import ChannelProfile
 from .obfuscation import ObfuscationConfig
@@ -271,7 +272,9 @@ class LTENetwork:
         """Advance the simulation by ``duration_s`` seconds."""
         if duration_s < 0:
             raise ValueError(f"duration_s must be >= 0: {duration_s}")
-        self.clock.run_until(self.clock.now_us + int(duration_s * SECOND_US))
+        with obs.span("sim.run"):
+            self.clock.run_until(
+                self.clock.now_us + int(duration_s * SECOND_US))
 
     def _cell(self, cell_id: Optional[str]) -> Cell:
         if cell_id is None or cell_id not in self.cells:

@@ -7,11 +7,12 @@ cross-validating k = 1..10 (§VIII-D); both procedures live here.
 from __future__ import annotations
 
 import functools
+import math
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import runtime
+from .. import obs, runtime
 from .metrics import accuracy
 
 
@@ -93,7 +94,8 @@ def cross_validate(make_model: Callable, X: np.ndarray, y: np.ndarray,
     fold_list = list(k_fold_indices(len(X), folds, seed))
     work = functools.partial(_run_fold, make_model=make_model, X=X, y=y,
                              score=score)
-    return runtime.mapper(workers).map(work, fold_list)
+    with obs.span("crossval.folds"):
+        return runtime.mapper(workers).map(work, fold_list)
 
 
 def tune_knn_k(X: np.ndarray, y: np.ndarray, k_values: Sequence[int] = range(1, 11),
@@ -105,9 +107,16 @@ def tune_knn_k(X: np.ndarray, y: np.ndarray, k_values: Sequence[int] = range(1, 
     """
     from .knn import KNearestNeighbors
 
+    # Feasibility: k must not exceed the *smallest* training fold.
+    # np.array_split hands the first n % folds test folds one extra
+    # sample, so the largest test fold holds ceil(n / folds) samples
+    # and the smallest training fold n - ceil(n / folds).  The naive
+    # ``n - n // folds`` bound is one too generous whenever folds does
+    # not divide n, letting an infeasible k through to KNN.fit.
+    min_train = len(X) - math.ceil(len(X) / folds)
     results: Dict[int, float] = {}
     for k in k_values:
-        if k > len(X) - len(X) // folds:
+        if k > min_train:
             continue
         scores = cross_validate(lambda k=k: KNearestNeighbors(k=k),
                                 X, y, folds=folds, seed=seed)

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from .. import runtime
+from .. import obs, runtime
 from .base import Classifier, check_fit_inputs
 from .tree import DecisionTree
 
@@ -64,21 +64,23 @@ class RandomForest(Classifier):
 
     def fit(self, X: np.ndarray, y: np.ndarray,
             n_classes: Optional[int] = None) -> "RandomForest":
-        X, y = check_fit_inputs(X, y)
-        self.n_classes_ = n_classes or int(y.max()) + 1
-        rng = random.Random(self.seed)
-        master = np.random.default_rng(self.seed)
-        n = len(X)
-        tasks: List[Tuple[np.ndarray, int]] = []
-        for _ in range(self.n_trees):
-            indices = master.integers(0, n, size=n)
-            tasks.append((indices, rng.getrandbits(32)))
-        work = functools.partial(
-            _fit_one_tree, X=X, y=y, n_classes=self.n_classes_,
-            max_depth=self.max_depth,
-            min_samples_leaf=self.min_samples_leaf,
-            max_features=self.max_features)
-        self.trees_ = runtime.mapper(self.workers).map(work, tasks)
+        with obs.span("forest.fit"):
+            X, y = check_fit_inputs(X, y)
+            self.n_classes_ = n_classes or int(y.max()) + 1
+            rng = random.Random(self.seed)
+            master = np.random.default_rng(self.seed)
+            n = len(X)
+            tasks: List[Tuple[np.ndarray, int]] = []
+            for _ in range(self.n_trees):
+                indices = master.integers(0, n, size=n)
+                tasks.append((indices, rng.getrandbits(32)))
+            work = functools.partial(
+                _fit_one_tree, X=X, y=y, n_classes=self.n_classes_,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features)
+            self.trees_ = runtime.mapper(self.workers).map(work, tasks)
+            obs.counter("ml.forest.trees_fit").inc(self.n_trees)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

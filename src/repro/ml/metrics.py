@@ -23,8 +23,19 @@ def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
             f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
     if len(y_true) == 0:
         raise ValueError("empty inputs")
+    # np.add.at would silently index a negative label from the *end*
+    # of the matrix (numpy wrap-around), corrupting other classes'
+    # counts instead of failing — so validate up front.
+    if int(y_true.min()) < 0 or int(y_pred.min()) < 0:
+        raise ValueError(
+            f"labels must be non-negative: saw "
+            f"{min(int(y_true.min()), int(y_pred.min()))}")
     if n_classes is None:
         n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    elif int(max(y_true.max(), y_pred.max())) >= n_classes:
+        raise ValueError(
+            f"labels must be < n_classes={n_classes}: saw "
+            f"{int(max(y_true.max(), y_pred.max()))}")
     matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
     np.add.at(matrix, (y_true, y_pred), 1)
     return matrix

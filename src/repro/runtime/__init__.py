@@ -26,6 +26,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional, Union
 
+from .. import obs
 from .cache import (CACHE_DIR_ENV, CACHE_ENV, CACHE_MB_ENV, CacheStats,
                     TraceCache, cache_enabled_from_env, code_fingerprint,
                     default_cache_dir, max_bytes_from_env)
@@ -153,6 +154,7 @@ def record_simulations(count: int = 1) -> None:
     """Count trace simulations actually executed (not cache hits)."""
     global _simulations
     _simulations += count
+    obs.counter("runtime.simulations").inc(count)
 
 
 def stats() -> RuntimeStats:

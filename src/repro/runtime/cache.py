@@ -14,9 +14,11 @@ keys each simulation on *everything that determines its output*:
 Entries are pickled to ``<sha256>.pkl`` under the cache directory via
 write-to-temp + ``os.replace``, so concurrent writers (parallel pytest
 runs, multi-process fan-outs) can never leave a torn entry; the worst
-case is writing the same bytes twice.  A byte-size LRU bound (eviction
-by access time; hits touch their entry) keeps the directory from
-growing without limit.
+case is writing the same bytes twice.  A byte-size LRU bound keeps the
+directory from growing without limit: recency is ``st_mtime`` (hits
+touch their entry via ``os.utime``, which bumps atime *and* mtime),
+and eviction walks entries oldest-mtime first with a deterministic
+filename tie-break.
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
+
+from .. import obs
 
 #: Environment knobs (documented in README / CLI help).
 CACHE_ENV = "REPRO_TRACE_CACHE"          # "0"/"off"/"false" disables
@@ -131,6 +135,12 @@ class TraceCache:
         self.fingerprint = (fingerprint if fingerprint is not None
                             else code_fingerprint())
         self.stats = CacheStats()
+        # Registry mirrors of the CacheStats counters (``stats`` stays
+        # the public per-instance record; tests replace it wholesale).
+        self._hits_obs = obs.counter("runtime.cache.hits")
+        self._misses_obs = obs.counter("runtime.cache.misses")
+        self._stores_obs = obs.counter("runtime.cache.stores")
+        self._evictions_obs = obs.counter("runtime.cache.evictions")
 
     # -- keys ---------------------------------------------------------------------
 
@@ -148,31 +158,42 @@ class TraceCache:
 
     def get(self, key: str):
         """The cached value, or ``None`` on miss (or torn/corrupt entry)."""
+        with obs.span("cache.get"):
+            return self._get(key)
+
+    def _get(self, key: str):
         path = self._path(key)
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._misses_obs.inc()
             return None
         except Exception:
             # Corrupt or half-written by a pre-atomic-write version:
             # drop it and treat as a miss.
             self.stats.misses += 1
+            self._misses_obs.inc()
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        self._hits_obs.inc()
         try:
-            os.utime(path)           # bump LRU recency
+            os.utime(path)           # bump LRU recency (atime and mtime)
         except OSError:
             pass
         return value
 
     def put(self, key: str, value) -> None:
         """Atomically store ``value``; concurrent writers never collide."""
+        with obs.span("cache.put"):
+            self._put(key, value)
+
+    def _put(self, key: str, value) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
@@ -188,12 +209,23 @@ class TraceCache:
                 pass
             raise
         self.stats.stores += 1
+        self._stores_obs.inc()
         self._evict_over_bound()
 
     # -- maintenance --------------------------------------------------------------
 
     def entries(self):
-        """(path, size, atime) for every entry currently on disk."""
+        """(path, size, mtime) for every entry currently on disk.
+
+        ``st_mtime`` — not atime — is the LRU recency key: :meth:`get`
+        bumps a hit entry with ``os.utime``, which updates *both*
+        atime and mtime, so mtime tracks last use even on
+        noatime/relatime mounts where atime is unreliable.  Entries
+        come back sorted by ``(mtime, filename)``, least recently used
+        first, so eviction order is deterministic even when several
+        entries share one timestamp (coarse filesystem clocks, batch
+        writes).
+        """
         out = []
         try:
             names = os.listdir(self.directory)
@@ -208,22 +240,27 @@ class TraceCache:
             except OSError:
                 continue
             out.append((path, stat.st_size, stat.st_mtime))
+        out.sort(key=lambda entry: (entry[2], entry[0].name))
         return out
 
     def total_bytes(self) -> int:
         return sum(size for _, size, _ in self.entries())
 
     def _evict_over_bound(self) -> None:
+        # entries() is already LRU-ordered with a deterministic
+        # (mtime, filename) tie-break, so two processes evicting over
+        # the same directory agree on the order.
         entries = self.entries()
         total = sum(size for _, size, _ in entries)
         if total <= self.max_bytes:
             return
-        for path, size, _ in sorted(entries, key=lambda e: e[2]):
+        for path, size, _ in entries:
             try:
                 path.unlink()
             except OSError:
                 continue
             self.stats.evictions += 1
+            self._evictions_obs.inc()
             total -= size
             if total <= self.max_bytes:
                 break

@@ -26,6 +26,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from .. import obs
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -105,17 +107,22 @@ class ParallelMap:
         so callers never need to special-case the backend.
         """
         items = list(items)
-        if self.backend == "serial" or len(items) <= 1:
-            return [fn(item) for item in items]
-        if not self._picklable(fn):
-            return [fn(item) for item in items]
-        try:
-            return self._process_map(fn, items)
-        except (pickle.PicklingError, BrokenProcessPool, TypeError,
-                AttributeError):
-            # Unpicklable items/results or a torn-down pool: redo the
-            # whole batch serially — fn is pure, so this is safe.
-            return [fn(item) for item in items]
+        with obs.span("parallel.map"):
+            obs.counter("runtime.parallel.batches").inc()
+            obs.counter("runtime.parallel.items").inc(len(items))
+            if self.backend == "serial" or len(items) <= 1:
+                return [fn(item) for item in items]
+            if not self._picklable(fn):
+                obs.counter("runtime.parallel.serial_fallbacks").inc()
+                return [fn(item) for item in items]
+            try:
+                return self._process_map(fn, items)
+            except (pickle.PicklingError, BrokenProcessPool, TypeError,
+                    AttributeError):
+                # Unpicklable items/results or a torn-down pool: redo the
+                # whole batch serially — fn is pure, so this is safe.
+                obs.counter("runtime.parallel.serial_fallbacks").inc()
+                return [fn(item) for item in items]
 
     def _process_map(self, fn: Callable[[T], R],
                      items: Sequence[T]) -> List[R]:

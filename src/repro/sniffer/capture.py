@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..lte.channel import ChannelProfile
 from ..lte.network import LTENetwork
 from ..lte.rrc import ControlMessage
@@ -87,22 +88,24 @@ class CellSniffer:
         RNTI's columnar buffer; the fragments are merged with one
         stable sort.
         """
-        fragments: List[Trace] = []
-        for binding in self.mapper.bindings_for_tmsi(tmsi):
-            builder = self._builders.get(binding.rnti)
-            if builder is None or not len(builder):
-                continue
-            times = builder.times_s
-            lo = int(np.searchsorted(times, binding.start_s, side="left"))
-            hi = (len(times) if binding.end_s is None
-                  else int(np.searchsorted(times, binding.end_s,
-                                           side="left")))
-            if hi > lo:
-                fragments.append(Trace.from_arrays(
-                    times[lo:hi], builder.rntis[lo:hi],
-                    builder.directions[lo:hi], builder.tbs_bytes[lo:hi],
-                    validate=False))
-        return Trace.merged(fragments, cell=self.cell_id)
+        with obs.span("sniffer.group"):
+            fragments: List[Trace] = []
+            for binding in self.mapper.bindings_for_tmsi(tmsi):
+                builder = self._builders.get(binding.rnti)
+                if builder is None or not len(builder):
+                    continue
+                times = builder.times_s
+                lo = int(np.searchsorted(times, binding.start_s,
+                                         side="left"))
+                hi = (len(times) if binding.end_s is None
+                      else int(np.searchsorted(times, binding.end_s,
+                                               side="left")))
+                if hi > lo:
+                    fragments.append(Trace.from_arrays(
+                        times[lo:hi], builder.rntis[lo:hi],
+                        builder.directions[lo:hi], builder.tbs_bytes[lo:hi],
+                        validate=False))
+            return Trace.merged(fragments, cell=self.cell_id)
 
     def control_log(self) -> List[ControlMessage]:
         """Every control message seen (for the attack-cost accounting)."""

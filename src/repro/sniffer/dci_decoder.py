@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional
 
+from .. import obs
 from ..lte.channel import CaptureChannel, ChannelProfile
 from ..lte.dci import DecodeError, EncodedDCI, PDCCHTransmission
 from ..lte.identifiers import is_crnti
@@ -46,8 +47,24 @@ class DCIDecoder:
         self._drop_non_crnti = drop_non_crnti
         self._sinks: List[RecordSink] = []
         self._raw_sinks: List[RawSink] = []
-        self.decoded = 0
-        self.rejected = 0
+        # Registry-backed counters behind the historical public
+        # attributes (``decoded`` / ``rejected`` stay readable whether
+        # or not observability is collecting).
+        self._decoded = obs.attr_counter("sniffer.decoder.decoded")
+        self._rejected = obs.attr_counter("sniffer.decoder.rejected")
+        self._captured_obs = obs.counter("sniffer.capture.captured")
+        self._lost_obs = obs.counter("sniffer.capture.lost")
+        self._corrupted_obs = obs.counter("sniffer.capture.corrupted")
+
+    @property
+    def decoded(self) -> int:
+        """DCIs successfully blind-decoded (and kept)."""
+        return self._decoded.value
+
+    @property
+    def rejected(self) -> int:
+        """DCIs dropped: CRC/parse failure or non-C-RNTI."""
+        return self._rejected.value
 
     def add_sink(self, sink: RecordSink) -> None:
         """Register a consumer of decoded :class:`TraceRecord` objects."""
@@ -60,20 +77,25 @@ class DCIDecoder:
     def on_pdcch(self, transmission: PDCCHTransmission) -> None:
         """Observer callback: capture, blind-decode, fan out."""
         if not self._capture.deliver():
+            self._lost_obs.inc()
             return
+        self._captured_obs.inc()
         payload = self._capture.corrupt(transmission.encoded.payload)
-        encoded = (transmission.encoded if payload is transmission.encoded.payload
-                   else EncodedDCI(payload=payload,
-                                   masked_crc=transmission.encoded.masked_crc))
+        if payload is transmission.encoded.payload:
+            encoded = transmission.encoded
+        else:
+            self._corrupted_obs.inc()
+            encoded = EncodedDCI(payload=payload,
+                                 masked_crc=transmission.encoded.masked_crc)
         try:
             dci = encoded.blind_decode()
         except DecodeError:
-            self.rejected += 1
+            self._rejected.inc()
             return
         if self._drop_non_crnti and not is_crnti(dci.rnti):
-            self.rejected += 1
+            self._rejected.inc()
             return
-        self.decoded += 1
+        self._decoded.inc()
         time_s = to_seconds(transmission.time_us)
         for raw_sink in self._raw_sinks:
             raw_sink(time_s, dci.rnti, int(dci.direction), dci.tbs_bytes)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..lte.epc import EPC
 from ..lte.rrc import (ControlMessage, HandoverEvent, RRCConnectionRelease,
                        RRCConnectionRequest, RRCConnectionSetup)
@@ -52,7 +53,15 @@ class IdentityMapper:
         self._pending_requests: Dict[int, RRCConnectionRequest] = {}
         self._live: Dict[int, Binding] = {}           # rnti -> live binding
         self._history: List[Binding] = []
-        self.mappings_learned = 0
+        self._learned = obs.attr_counter("sniffer.mapper.mappings_learned")
+        self._closed_obs = obs.counter("sniffer.mapper.bindings_closed")
+        self._superseded_obs = obs.counter(
+            "sniffer.mapper.bindings_superseded")
+
+    @property
+    def mappings_learned(self) -> int:
+        """How many Msg3/Msg4 (or out-of-band) bindings were learned."""
+        return self._learned.value
 
     def on_control(self, message: ControlMessage) -> None:
         """Feed one control-plane message from the cell."""
@@ -78,10 +87,20 @@ class IdentityMapper:
 
     def _open(self, rnti: int, tmsi: int, time_s: float) -> None:
         self._close(rnti, time_s)
+        # A victim reconnecting with a new C-RNTI before its
+        # RRCConnectionRelease was observed (a lost capture, §VII)
+        # would otherwise leave *two* live bindings for one TMSI, and
+        # current_rnti could return the dead RNTI.  The new connection
+        # proves the old one is gone, so close it now.
+        stale = [old_rnti for old_rnti, binding in self._live.items()
+                 if binding.tmsi == tmsi]
+        for old_rnti in stale:
+            self._close(old_rnti, time_s)
+            self._superseded_obs.inc()
         binding = Binding(rnti=rnti, tmsi=tmsi, start_s=time_s,
                           cell=self._cell)
         self._live[rnti] = binding
-        self.mappings_learned += 1
+        self._learned.inc()
 
     def _close(self, rnti: int, time_s: float) -> None:
         live = self._live.pop(rnti, None)
@@ -89,6 +108,7 @@ class IdentityMapper:
             self._history.append(Binding(rnti=live.rnti, tmsi=live.tmsi,
                                          start_s=live.start_s, end_s=time_s,
                                          cell=live.cell))
+            self._closed_obs.inc()
 
     def register_handover_binding(self, rnti: int, tmsi: int,
                                   time_s: float) -> None:
@@ -146,11 +166,16 @@ class IMSICatcher:
 
     def __init__(self, epc: EPC) -> None:
         self._epc = epc
-        self.queries = 0
+        self._queries = obs.attr_counter("sniffer.imsi_catcher.queries")
+
+    @property
+    def queries(self) -> int:
+        """Oracle invocations (the active-attack cost §VII reports)."""
+        return self._queries.value
 
     def resolve_tmsi(self, tmsi: int) -> Optional[str]:
         """Resolve a TMSI to the IMSI string, as an IMSI catcher would."""
-        self.queries += 1
+        self._queries.inc()
         ue = self._epc.lookup_tmsi(tmsi)
         return str(ue.imsi) if ue is not None else None
 
@@ -162,7 +187,7 @@ class IMSICatcher:
         cell's mapper and installs the binding for the new C-RNTI in the
         target cell's mapper.  Returns the TMSI if linked.
         """
-        self.queries += 1
+        self._queries.inc()
         source = mappers.get(event.source_cell)
         target = mappers.get(event.target_cell)
         if source is None or target is None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from .. import obs
 from ..lte.identifiers import is_crnti
 from ..lte.rrc import (ControlMessage, RandomAccessResponse,
                        RRCConnectionRelease)
@@ -62,6 +63,12 @@ class OWLTracker:
         self._candidates: Dict[int, _Candidate] = {}
         self._active: Dict[int, RNTIActivity] = {}
         self._history: List[RNTIActivity] = []
+        # Candidate sweeps are amortised: at most one dictionary scan
+        # per confirm window, so the hot on_dci path stays O(1).
+        self._last_sweep_s = float("-inf")
+        self._confirmed_obs = obs.counter("sniffer.tracker.confirmed")
+        self._retired_obs = obs.counter("sniffer.tracker.retired")
+        self._pruned_obs = obs.counter("sniffer.tracker.candidates_pruned")
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -109,6 +116,7 @@ class OWLTracker:
         self._candidates.pop(rnti, None)
         self._active[rnti] = RNTIActivity(rnti=rnti, confirmed_s=now,
                                           last_seen_s=now)
+        self._confirmed_obs.inc()
 
     def _retire(self, rnti: int, now: float) -> None:
         activity = self._active.pop(rnti, None)
@@ -116,12 +124,27 @@ class OWLTracker:
             activity.expired = True
             activity.last_seen_s = now
             self._history.append(activity)
+            self._retired_obs.inc()
 
     def _expire_stale(self, now: float) -> None:
         stale = [rnti for rnti, activity in self._active.items()
                  if now - activity.last_seen_s > self._expiry_s]
         for rnti in stale:
             self._retire(rnti, now)
+        # Corrupted captures yield uniformly random garbage RNTIs whose
+        # one-hit candidate entries would otherwise accumulate forever
+        # (a long-capture memory leak).  A candidate unseen for a full
+        # confirm window can never confirm — on_dci restarts the window
+        # for it anyway — so it is dropped.  Swept at most once per
+        # window to keep the per-DCI cost amortised O(1).
+        if now - self._last_sweep_s >= self._window_s:
+            self._last_sweep_s = now
+            dead = [rnti for rnti, candidate in self._candidates.items()
+                    if now - candidate.last_seen_s > self._window_s]
+            for rnti in dead:
+                del self._candidates[rnti]
+            if dead:
+                self._pruned_obs.inc(len(dead))
 
     # -- queries ------------------------------------------------------------------------
 

@@ -194,3 +194,23 @@ class TestKFold:
         best_k, curve = tune_knn_k(X, y, k_values=range(1, 6), folds=4)
         assert best_k in curve
         assert all(0.0 <= acc <= 1.0 for acc in curve.values())
+
+    def test_tune_knn_skips_infeasible_k(self):
+        # Regression: with n=10 and folds=4, np.array_split gives test
+        # folds of sizes [3, 3, 2, 2], so the smallest training fold
+        # holds 7 samples.  The old feasibility guard used
+        # n - n // folds = 8, letting k=8 through to KNN.fit, which
+        # raised ValueError mid-sweep.
+        rng = np.random.default_rng(7)
+        X = rng.normal(0, 1, (10, 2))
+        y = np.repeat([0, 1], 5)
+        best_k, curve = tune_knn_k(X, y, k_values=[1, 8], folds=4)
+        assert best_k == 1
+        assert 8 not in curve
+
+    def test_tune_knn_all_infeasible_raises(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(0, 1, (10, 2))
+        y = np.repeat([0, 1], 5)
+        with pytest.raises(ValueError, match="feasible"):
+            tune_knn_k(X, y, k_values=[8, 9], folds=4)

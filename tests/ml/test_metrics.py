@@ -124,3 +124,25 @@ class TestAggregates:
         assert "cats" in report
         assert "accuracy" in report
         assert "1.000" in report
+
+
+class TestConfusionMatrixValidation:
+    def test_negative_label_rejected(self):
+        # Regression: np.add.at would silently wrap a negative label to
+        # the end of the matrix, corrupting another class's counts.
+        with pytest.raises(ValueError, match="non-negative"):
+            confusion_matrix(np.array([0, -1]), np.array([0, 0]))
+
+    def test_negative_prediction_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            confusion_matrix(np.array([0, 1]), np.array([0, -2]))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            confusion_matrix(np.array([0, 3]), np.array([0, 1]),
+                             n_classes=3)
+
+    def test_valid_labels_unchanged(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]),
+                                  np.array([0, 1, 0]), n_classes=2)
+        assert matrix.tolist() == [[1, 0], [1, 1]]

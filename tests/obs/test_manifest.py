@@ -1,0 +1,108 @@
+"""Tests for JSONL run manifests: write, scope, read, render."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.manifest import (SCHEMA_VERSION, RunManifest, read_manifests,
+                                render_manifest, run_scope)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestRunManifest:
+    def test_write_appends_one_json_line(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        with obs.override(True):
+            obs.counter("sim.ttis").inc(9)
+            with obs.span("sim.run"):
+                pass
+            manifest = RunManifest("experiment", {"name": "table3"})
+            manifest.set_result({"mean_f": 0.9})
+            line = manifest.write(out)
+        assert line["schema"] == SCHEMA_VERSION
+        assert line["command"] == "experiment"
+        assert line["params"] == {"name": "table3"}
+        assert line["ok"] is True
+        assert line["metrics"]["counters"]["sim.ttis"] == 9
+        assert line["spans"]["sim.run"]["count"] == 1
+        assert line["result"] == {"mean_f": 0.9}
+        assert line["code_fingerprint"]
+        raw = out.read_text().splitlines()
+        assert len(raw) == 1
+        assert json.loads(raw[0]) == json.loads(json.dumps(line))
+
+    def test_params_are_json_safe(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        manifest = RunManifest("collect", {"out": Path("/tmp/x"),
+                                           "apps": ("YouTube",)})
+        line = manifest.write(out)
+        assert line["params"]["out"] == "/tmp/x"
+        assert line["params"]["apps"] == ["YouTube"]
+        json.dumps(line)  # must round-trip
+
+
+class TestRunScope:
+    def test_scope_resets_registry(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        with obs.override(True):
+            obs.counter("leftover").inc(100)
+            with run_scope("experiment", {"name": "x"}, out=out):
+                obs.counter("fresh").inc(1)
+        line = read_manifests(out)[0]
+        assert "leftover" not in line["metrics"]["counters"]
+        assert line["metrics"]["counters"]["fresh"] == 1
+
+    def test_scope_writes_on_exception(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        with obs.override(True):
+            with pytest.raises(RuntimeError):
+                with run_scope("experiment", {}, out=out):
+                    raise RuntimeError("boom")
+        line = read_manifests(out)[0]
+        assert line["ok"] is False
+
+    def test_scope_inert_without_out(self, tmp_path):
+        with obs.override(False):
+            with run_scope("experiment", {}) as manifest:
+                manifest.set_result({"x": 1})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_scope_appends_across_runs(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        with obs.override(True):
+            for index in range(3):
+                with run_scope("experiment", {"run": index}, out=out):
+                    pass
+        lines = read_manifests(out)
+        assert [line["params"]["run"] for line in lines] == [0, 1, 2]
+
+
+class TestReadRender:
+    def test_read_skips_torn_lines(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        good = json.dumps({"schema": 1, "command": "bench"})
+        out.write_text(f"{good}\n{{\"torn\": \n\n{good}\n")
+        lines = read_manifests(out)
+        assert len(lines) == 2
+        assert all(line["command"] == "bench" for line in lines)
+
+    def test_render_mentions_spans_and_counters(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        with obs.override(True):
+            with run_scope("experiment", {"name": "table3"}, out=out):
+                obs.counter("sniffer.decoder.decoded").inc(5)
+                with obs.span("forest.fit"):
+                    pass
+        text = render_manifest(read_manifests(out)[0])
+        assert "run: experiment" in text
+        assert "forest.fit" in text
+        assert "sniffer.decoder.decoded" in text
+        assert "name=table3" in text

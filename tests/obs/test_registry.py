@@ -1,0 +1,176 @@
+"""Tests for the observability registry: counters, spans, null objects."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestEnablement:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(obs.OBS_ENV, raising=False)
+        monkeypatch.setattr(obs, "_forced", None)
+        assert not obs.enabled()
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setattr(obs, "_forced", None)
+        monkeypatch.setenv(obs.OBS_ENV, "1")
+        assert obs.enabled()
+        monkeypatch.setenv(obs.OBS_ENV, "0")
+        assert not obs.enabled()
+
+    def test_override_restores(self):
+        with obs.override(True):
+            assert obs.enabled()
+            with obs.override(False):
+                assert not obs.enabled()
+            assert obs.enabled()
+
+
+class TestNullObjects:
+    """Disabled instrumentation must hand out shared no-op singletons."""
+
+    def test_counter_is_shared_null(self):
+        with obs.override(False):
+            a = obs.counter("x")
+            b = obs.counter("y")
+        assert a is b
+        a.inc()
+        a.inc(5)
+        assert a.value == 0
+
+    def test_gauge_histogram_span_are_null(self):
+        with obs.override(False):
+            g = obs.gauge("g")
+            h = obs.histogram("h", bounds=[1.0])
+            s = obs.span("s")
+        g.set(3.0)
+        h.observe(0.5)
+        with s:
+            pass
+        snap = obs.snapshot()
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == {}
+
+    def test_disabled_leaves_registry_empty(self):
+        with obs.override(False):
+            obs.counter("quiet").inc(10)
+        assert obs.snapshot()["counters"] == {}
+
+
+class TestCounters:
+    def test_counts_and_publishes(self):
+        with obs.override(True):
+            c = obs.counter("pipeline.things")
+            c.inc()
+            c.inc(4)
+        assert c.value == 5
+        assert obs.snapshot()["counters"]["pipeline.things"] == 5
+
+    def test_instances_share_cell(self):
+        """Registry totals aggregate across short-lived instances."""
+        with obs.override(True):
+            for _ in range(3):
+                obs.counter("shared.total").inc(2)
+        assert obs.snapshot()["counters"]["shared.total"] == 6
+
+    def test_attr_counter_counts_while_disabled(self):
+        """Migrated public attributes stay correct with obs off."""
+        with obs.override(False):
+            c = obs.attr_counter("sniffer.decoder.decoded")
+            c.inc(7)
+        assert c.value == 7
+        assert obs.snapshot()["counters"] == {}
+
+    def test_attr_counter_publishes_while_enabled(self):
+        with obs.override(True):
+            c = obs.attr_counter("sniffer.decoder.decoded")
+            c.inc(7)
+        assert c.value == 7
+        assert obs.snapshot()["counters"]["sniffer.decoder.decoded"] == 7
+
+
+class TestGaugesHistograms:
+    def test_gauge_last_write_wins(self):
+        with obs.override(True):
+            g = obs.gauge("load")
+            g.set(1.0)
+            g.set(2.5)
+        assert obs.snapshot()["gauges"]["load"] == 2.5
+
+    def test_histogram_buckets(self):
+        with obs.override(True):
+            h = obs.histogram("latency", bounds=[1.0, 10.0])
+            for value in (0.5, 0.9, 5.0, 100.0):
+                h.observe(value)
+        hist = obs.snapshot()["histograms"]["latency"]
+        assert hist["counts"] == [2, 1, 1]
+        assert hist["n"] == 4
+        assert hist["sum"] == pytest.approx(106.4)
+
+    def test_histogram_needs_bounds(self):
+        with obs.override(True):
+            with pytest.raises(ValueError):
+                obs.histogram("empty", bounds=[])
+
+
+class TestSpans:
+    def test_span_records_timing(self):
+        with obs.override(True):
+            with obs.span("stage.fit"):
+                pass
+            with obs.span("stage.fit"):
+                pass
+        stats = obs.snapshot()["spans"]["stage.fit"]
+        assert stats["count"] == 2
+        assert stats["total_s"] >= 0.0
+        assert stats["min_s"] <= stats["max_s"]
+
+    def test_timed_checks_enablement_per_call(self):
+        """Drivers decorated before enable() still record afterwards."""
+
+        @obs.timed("stage.decorated")
+        def work():
+            return 42
+
+        with obs.override(False):
+            assert work() == 42
+        assert obs.snapshot()["spans"] == {}
+        with obs.override(True):
+            assert work() == 42
+        assert obs.snapshot()["spans"]["stage.decorated"]["count"] == 1
+
+    def test_span_records_on_exception(self):
+        with obs.override(True):
+            with pytest.raises(RuntimeError):
+                with obs.span("stage.boom"):
+                    raise RuntimeError("boom")
+        assert obs.snapshot()["spans"]["stage.boom"]["count"] == 1
+
+
+class TestRegistry:
+    def test_reset_clears_everything(self):
+        with obs.override(True):
+            obs.counter("a").inc()
+            obs.gauge("b").set(1.0)
+            obs.histogram("c", bounds=[1.0]).observe(0.5)
+            with obs.span("d"):
+                pass
+        obs.reset()
+        snap = obs.snapshot()
+        assert snap == {"counters": {}, "gauges": {},
+                        "histograms": {}, "spans": {}}
+
+    def test_snapshot_is_sorted_and_plain(self):
+        with obs.override(True):
+            obs.counter("z").inc()
+            obs.counter("a").inc()
+        names = list(obs.snapshot()["counters"])
+        assert names == sorted(names)

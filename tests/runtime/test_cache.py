@@ -161,3 +161,42 @@ class TestPipelineCaching:
         with runtime.overrides(cache_enabled=False, cache_dir=tmp_path):
             collect_trace("YouTube", operator=LAB, duration_s=8.0, seed=3)
         assert list(tmp_path.iterdir()) == []
+
+
+class TestLRURecency:
+    """Regression: entries() order is the documented LRU eviction order."""
+
+    def test_entries_sorted_by_mtime_then_name(self, tmp_path):
+        cache = TraceCache(tmp_path, fingerprint="v1")
+        for name in ("bb", "aa", "cc"):
+            cache.put(name, name)
+        # Force one shared timestamp: ties must break by filename.
+        for path, _, _ in cache.entries():
+            os.utime(path, (1000.0, 1000.0))
+        names = [path.name for path, _, _ in cache.entries()]
+        assert names == sorted(names)
+
+    def test_get_bumps_recency_via_mtime(self, tmp_path):
+        cache = TraceCache(tmp_path, fingerprint="v1")
+        cache.put("old", "old")
+        cache.put("new", "new")
+        for path, _, _ in cache.entries():
+            os.utime(path, (1000.0, 1000.0))
+        assert cache.get("old") == "old"  # bump: now most recent
+        names = [path.name for path, _, _ in cache.entries()]
+        assert names[-1] == "old.pkl"
+
+    def test_eviction_follows_recency_not_insertion(self, tmp_path):
+        payload = b"x" * 512
+        cache = TraceCache(tmp_path, fingerprint="v1",
+                           max_bytes=3 * 1024)
+        cache.put("first", payload)
+        cache.put("second", payload)
+        # Age both, then touch "first" so "second" is the LRU victim.
+        for path, _, _ in cache.entries():
+            os.utime(path, (1000.0, 1000.0))
+        assert cache.get("first") is not None
+        cache.put("third", b"y" * 2048)
+        names = {path.name for path, _, _ in cache.entries()}
+        assert "first.pkl" in names
+        assert "second.pkl" not in names

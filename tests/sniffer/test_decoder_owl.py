@@ -136,3 +136,27 @@ class TestOWLTracker:
         tracker = OWLTracker(confirm_threshold=1)
         tracker.on_record(self.record(0.0, rnti=SI_RNTI))
         assert tracker.active_rntis() == set()
+
+
+class TestCandidatePruning:
+    def test_noise_only_candidates_stay_bounded(self):
+        # Regression: corrupted captures yield uniformly random RNTIs
+        # whose one-hit candidate entries accumulated without bound
+        # over a long capture.  Only candidates seen within roughly the
+        # last confirm window may remain.
+        tracker = OWLTracker(confirm_threshold=3, confirm_window_s=1.0)
+        total = 3000
+        for index in range(total):
+            rnti = 0x0100 + index  # all distinct, all valid C-RNTIs
+            tracker.on_dci(index * 0.01, rnti)
+        assert tracker.candidate_count < 500
+        assert not tracker.active_rntis()
+
+    def test_pruning_keeps_in_window_candidates_confirmable(self):
+        tracker = OWLTracker(confirm_threshold=3, confirm_window_s=1.0)
+        # Old noise to force sweeps, then a genuine user.
+        for index in range(200):
+            tracker.on_dci(index * 0.01, 0x2000 + index)
+        for offset in (0.0, 0.1, 0.2):
+            tracker.on_dci(10.0 + offset, 0x1234)
+        assert tracker.is_active(0x1234)

@@ -147,3 +147,35 @@ class TestIMSICatcher:
         event = HandoverEvent(1_000_000, "a", "b", 0x9999, 0x8888)
         assert catcher.link_handover(event, {"a": source,
                                              "b": target}) is None
+
+
+class TestReconnectSupersedesLiveBinding:
+    def test_missed_release_closes_stale_binding(self):
+        # Regression: a victim reconnecting with a new C-RNTI before
+        # its RRCConnectionRelease was captured left two live bindings
+        # for one TMSI; current_rnti could return the dead RNTI.
+        mapper = IdentityMapper(cell="cell-1")
+        handshake(mapper, rnti=0x1A2B, tmsi=TMSI, time_us=1_000_000)
+        handshake(mapper, rnti=0x2B3C, tmsi=TMSI, time_us=9_000_000)
+        assert mapper.current_rnti(TMSI) == 0x2B3C
+        bindings = mapper.bindings_for_tmsi(TMSI)
+        assert [b.rnti for b in bindings] == [0x1A2B, 0x2B3C]
+        first, second = bindings
+        assert first.end_s == pytest.approx(9.005)
+        assert second.end_s is None
+
+    def test_stale_binding_does_not_cover_new_traffic(self):
+        mapper = IdentityMapper(cell="cell-1")
+        handshake(mapper, rnti=0x1A2B, tmsi=TMSI, time_us=1_000_000)
+        handshake(mapper, rnti=0x2B3C, tmsi=TMSI, time_us=9_000_000)
+        # Traffic after the reconnect resolves to the new RNTI only.
+        assert mapper.tmsi_for(0x2B3C, time_s=10.0) == TMSI
+        assert mapper.tmsi_for(0x1A2B, time_s=10.0) is None
+
+    def test_other_users_unaffected(self):
+        mapper = IdentityMapper(cell="cell-1")
+        handshake(mapper, rnti=0x1A2B, tmsi=TMSI, time_us=1_000_000)
+        handshake(mapper, rnti=0x3C4D, tmsi=0x5555, time_us=2_000_000)
+        handshake(mapper, rnti=0x2B3C, tmsi=TMSI, time_us=9_000_000)
+        assert mapper.current_rnti(0x5555) == 0x3C4D
+        assert mapper.current_rnti(TMSI) == 0x2B3C
