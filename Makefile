@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-features bench-smoke clean-cache report
+.PHONY: test test-fast bench bench-features bench-smoke bench-lint \
+	clean-cache lint report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -28,6 +29,16 @@ bench-features:
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_component_speed.py -q \
 		--benchmark-disable -p no:cacheprovider
+
+## Static analysis: the repo's determinism / numeric-safety /
+## parallel-safety / obs-coverage ruleset (repro.analysis).  Exits
+## non-zero on findings; CI runs exactly this.
+lint:
+	$(PYTHON) -m repro.cli lint src
+
+## Full-repo lint wall time (target < 2 s); writes BENCH_lint.json.
+bench-lint:
+	$(PYTHON) benchmarks/bench_lint.py
 
 ## Drop every entry from the on-disk trace cache.
 clean-cache:

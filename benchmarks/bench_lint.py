@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Benchmark guard: full-repo lint wall time (target < 2 s).
+
+The linter runs on every CI push, so it must stay cheap enough that
+nobody is tempted to skip it.  This script lints ``src/`` a few times,
+records the best wall time into ``BENCH_lint.json`` at the repo root,
+and exits non-zero if the best run misses the target — a perf
+regression in the engine fails the same way a rule violation would.
+
+Run via ``make bench-lint`` or ``python benchmarks/bench_lint.py``.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+OUT = REPO_ROOT / "BENCH_lint.json"
+
+TARGET_S = 2.0
+ROUNDS = 3
+
+sys.path.insert(0, str(SRC))
+
+
+def main() -> int:
+    from repro.analysis import all_rules, lint_paths
+
+    # Warm-up: import and register the ruleset outside the timed runs.
+    rules = all_rules()
+    timings = []
+    result = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = lint_paths([SRC])
+        timings.append(time.perf_counter() - started)
+    best = min(timings)
+    document = {
+        "description": "Full-repo static analysis (python -m repro.cli "
+                       "lint src): stdlib-ast engine, single parse pass "
+                       "per file, all rules dispatched by node type.",
+        "workload": {
+            "files": result.files_scanned,
+            "rules": len(rules),
+            "rounds": ROUNDS,
+            "timing": "best of rounds, seconds",
+        },
+        "results": {
+            "lint_wall_s": best,
+            "target_s": TARGET_S,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+        },
+    }
+    OUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"lint: {result.files_scanned} files, {len(rules)} rules, "
+          f"best of {ROUNDS}: {best:.3f} s (target {TARGET_S:.1f} s) "
+          f"-> {OUT.name}")
+    if best > TARGET_S:
+        print(f"FAIL: lint wall time {best:.3f} s exceeds the "
+              f"{TARGET_S:.1f} s target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Baseline files: grandfathered findings that don't fail the build.
+
+A baseline entry fingerprints a finding by *what* it is — (path, rule,
+normalised source line) — not *where* it is, so unrelated edits that
+shift line numbers don't churn the file.  The shipped baseline
+(``lint-baseline.json``) is empty by policy: new code meets the rules,
+legitimate exceptions use inline ``# repro: noqa[ID]`` with a
+justifying comment, and the baseline exists for bulk-importing legacy
+trees only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple, Union
+
+from .engine import Finding
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Location-independent identity of one finding."""
+    normalised = " ".join(finding.snippet.split())
+    payload = f"{finding.path}\0{finding.rule}\0{normalised}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: Iterable[Finding]) -> dict:
+    """Serialise ``findings`` as the new baseline; returns the document."""
+    entries = sorted(
+        {fingerprint(f): f for f in findings}.items(),
+        key=lambda item: (item[1].path, item[1].rule, item[0]))
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [{"fingerprint": fp, "path": f.path, "rule": f.rule,
+                     "snippet": f.snippet} for fp, f in entries],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return document
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """The fingerprints grandfathered by the baseline at ``path``."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "entries" not in document:
+        raise ValueError(f"not a lint baseline: {path}")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path}")
+    return {entry["fingerprint"] for entry in document["entries"]}
+
+
+def apply_baseline(findings: Iterable[Finding], grandfathered: Set[str]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined)."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if fingerprint(finding) in grandfathered else new).append(
+            finding)
+    return new, old

@@ -1,0 +1,390 @@
+"""Single-pass AST lint engine: rules, dispatch, inline suppressions.
+
+The engine parses each file exactly once, builds one parent map, and
+dispatches every node to the rules that registered interest in its
+type — so adding a rule costs a dictionary lookup per node, not a
+re-walk of the tree.  Rules are plain classes registered with
+:func:`register`; each declares the node types it wants and yields
+``(node, message)`` pairs from :meth:`Rule.check`.
+
+Findings can be silenced three ways, in order of preference:
+
+1. fix the code (the ruleset encodes real past bugs);
+2. an inline ``# repro: noqa[RULE-ID]`` comment on the offending line
+   (comma-separate several ids; a bare ``# repro: noqa`` silences every
+   rule on that line) — for the rare *legitimate* exception, with a
+   justifying comment;
+3. a baseline entry (:mod:`repro.analysis.baseline`) — for
+   grandfathered findings only; the shipped baseline is empty and CI
+   keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa[DET001,NUM002]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)\])?")
+
+#: Sentinel for a bare ``# repro: noqa`` (suppresses every rule).
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str       # posix path as scanned (stable across machines)
+    line: int       # 1-based
+    col: int        # 0-based (ast convention)
+    rule: str       # e.g. "DET001"
+    family: str     # determinism | numeric | parallel | obs
+    message: str
+    snippet: str = field(compare=False, default="")
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "family": self.family,
+                "message": self.message, "snippet": self.snippet}
+
+
+class ModuleContext:
+    """Everything a rule may ask about the file being linted.
+
+    Built once per file: the parsed tree, a child→parent map, the
+    dotted module name (derived from the last ``repro`` path
+    component, so fixture trees that mimic the package layout scope
+    identically), the set of function names defined *inside* other
+    functions (closures — unpicklable), and the names bound to
+    ``runtime.mapper(...)`` / ``ParallelMap(...)`` results.
+    """
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.dotted = _dotted_module_name(path)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        self.nested_def_names: Set[str] = set()
+        self.mapper_names: Set[str] = set()
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self.enclosing_function(node) is not None:
+                    self.nested_def_names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                if _is_mapper_call(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.mapper_names.add(target.id)
+
+    # -- ancestry helpers ---------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The nearest FunctionDef/AsyncFunctionDef above ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def in_loop(self, node: ast.AST) -> bool:
+        """Whether ``node`` sits inside a ``for``/``while`` statement."""
+        return any(isinstance(a, (ast.For, ast.AsyncFor, ast.While))
+                   for a in self.ancestors(node))
+
+    def in_package(self, *segments: str) -> bool:
+        """Whether the module lives under ``repro.<segment>`` for any."""
+        return any(self.dotted.startswith(f"repro.{segment}.")
+                   or self.dotted == f"repro.{segment}"
+                   for segment in segments)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, register.
+
+    Attributes:
+        id: stable rule identifier (``<FAMILY-PREFIX><NNN>``).
+        family: one of ``determinism``/``numeric``/``parallel``/``obs``.
+        title: one-line summary shown by ``lint --list-rules``.
+        node_types: AST node classes this rule wants dispatched.
+    """
+
+    id: str = ""
+    family: str = ""
+    title: str = ""
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Per-file scoping hook (checked once per file)."""
+        return True
+
+    def check(self, node: ast.AST,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(node, message)`` for each violation found."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+#: Global registry: rule id → rule instance (populated by import of
+#: :mod:`repro.analysis.rules`).
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.id or not rule.family or not rule.node_types:
+        raise ValueError(f"rule {cls.__name__} is missing id/family/node_types")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The registered ruleset (imports the bundled rules on first use)."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+# -- shared AST helpers (used by the rule modules) --------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Chains that pass through calls or subscripts (``f().x``) return
+    ``None`` — rules that care about those match on the final attribute
+    instead.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's function, else ``None``."""
+    return dotted_name(node.func)
+
+
+def names_in(node: ast.AST) -> Set[str]:
+    """Every bare Name id referenced anywhere under ``node``."""
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _is_mapper_call(node: ast.AST) -> bool:
+    """Whether ``node`` is ``runtime.mapper(...)`` / ``ParallelMap(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1]
+    return last in ("mapper", "ParallelMap")
+
+
+def is_mapper_receiver(node: ast.AST, module: ModuleContext) -> bool:
+    """Whether ``node`` evaluates to a ParallelMap (for ``.map`` calls)."""
+    if _is_mapper_call(node):
+        return True
+    return isinstance(node, ast.Name) and node.id in module.mapper_names
+
+
+def _dotted_module_name(path: Path) -> str:
+    """Module name from the last ``repro`` path component onward.
+
+    Files outside any ``repro`` tree (ad-hoc fixtures) get their bare
+    stem, which no package-scoped rule matches.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[index:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or ["__init__"]
+    return ".".join(parts)
+
+
+# -- suppression scanning ---------------------------------------------------------
+
+
+def suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → suppressed rule ids (``*`` = all).
+
+    Only actual comments count: a ``# repro: noqa`` inside a string
+    literal does not suppress anything.
+    """
+    out: Dict[int, Set[str]] = {}
+    import io
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if not match:
+                continue
+            ids = match.group("ids")
+            line = token.start[0]
+            bucket = out.setdefault(line, set())
+            if ids is None:
+                bucket.add(_ALL_RULES)
+            else:
+                bucket.update(part.strip() for part in ids.split(","))
+    except tokenize.TokenError:
+        # Fall back to a plain line scan on tokenizer failure; the
+        # parser will have rejected truly broken files already.
+        for index, text in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(text)
+            if match:
+                ids = match.group("ids")
+                bucket = out.setdefault(index, set())
+                if ids is None:
+                    bucket.add(_ALL_RULES)
+                else:
+                    bucket.update(part.strip() for part in ids.split(","))
+    return out
+
+
+def _suppressed(finding: Finding, noqa: Dict[int, Set[str]]) -> bool:
+    ids = noqa.get(finding.line)
+    if not ids:
+        return False
+    return _ALL_RULES in ids or finding.rule in ids
+
+
+# -- per-file / per-tree entry points ---------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files_scanned: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def lint_source(source: str, path: Path,
+                rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint one already-read source string (single parse, single walk)."""
+    if rules is None:
+        rules = list(all_rules().values())
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(path=path.as_posix(), line=exc.lineno or 1,
+                          col=exc.offset or 0, rule="ENG001",
+                          family="engine",
+                          message=f"file does not parse: {exc.msg}",
+                          snippet="")
+        return LintResult(findings=[finding], files_scanned=1, suppressed=0)
+    module = ModuleContext(path, source, tree)
+    active = [rule for rule in rules if rule.applies_to(module)]
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    raw: List[Finding] = []
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            for where, message in rule.check(node, module):
+                line = getattr(where, "lineno", 1)
+                raw.append(Finding(
+                    path=path.as_posix(), line=line,
+                    col=getattr(where, "col_offset", 0),
+                    rule=rule.id, family=rule.family, message=message,
+                    snippet=module.line_text(line)))
+    noqa = suppressions(source)
+    findings = [f for f in raw if not _suppressed(f, noqa)]
+    findings.sort()
+    return LintResult(findings=findings, files_scanned=1,
+                      suppressed=len(raw) - len(findings))
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Every ``.py`` under the given files/trees, deterministically ordered."""
+    out: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py")
+                       if "__pycache__" not in p.parts
+                       and not any(part.startswith(".") for part in p.parts))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out, key=lambda p: p.as_posix())
+
+
+def lint_paths(paths: Iterable[Path],
+               rules: Optional[Sequence[Rule]] = None,
+               select: Optional[Iterable[str]] = None) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    Args:
+        paths: files and/or directories to scan.
+        rules: explicit rule instances (defaults to the full registry).
+        select: restrict to these rule ids (unknown ids raise).
+    """
+    if rules is None:
+        registry = all_rules()
+        if select is not None:
+            wanted = list(select)
+            unknown = sorted(set(wanted) - set(registry))
+            if unknown:
+                raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
+            rules = [registry[rule_id] for rule_id in wanted]
+        else:
+            rules = list(registry.values())
+    findings: List[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for path in files:
+        result = lint_source(path.read_text(encoding="utf-8"), path,
+                             rules=rules)
+        findings.extend(result.findings)
+        suppressed += result.suppressed
+    findings.sort()
+    return LintResult(findings=findings, files_scanned=len(files),
+                      suppressed=suppressed)

@@ -1,0 +1,77 @@
+"""Reporters: render a :class:`~repro.analysis.engine.LintResult`.
+
+Two formats, chosen by ``lint --format``:
+
+* **text** — one ``path:line:col: RULE message`` line per finding plus
+  a per-rule summary table, for humans and CI logs;
+* **json** — a versioned document (schema below) for tooling.
+
+JSON schema (version 1)::
+
+    {
+      "version": 1,
+      "files_scanned": 76,
+      "suppressed": 1,
+      "baselined": 0,
+      "findings": [
+        {"path": ..., "line": ..., "col": ..., "rule": ...,
+         "family": ..., "message": ..., "snippet": ...},
+      ],
+      "counts": {"DET001": 1, ...}           # per rule id, sorted
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from .engine import Finding, LintResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, baselined: int = 0) -> str:
+    """Human-readable report; empty-finding runs get one summary line."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.format())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if result.findings:
+        lines.append("")
+        counts = Counter(f.rule for f in result.findings)
+        for rule_id in sorted(counts):
+            lines.append(f"{rule_id:8s} {counts[rule_id]}")
+        lines.append(f"{len(result.findings)} finding(s) in "
+                     f"{result.files_scanned} file(s)")
+    else:
+        lines.append(f"clean: {result.files_scanned} file(s), "
+                     f"0 findings")
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed by noqa")
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if extras:
+        lines.append(f"({', '.join(extras)})")
+    return "\n".join(lines)
+
+
+def as_document(result: LintResult, baselined: int = 0) -> dict:
+    """The JSON-format report as a plain dict."""
+    counts = Counter(f.rule for f in result.findings)
+    return {
+        "version": REPORT_VERSION,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "baselined": baselined,
+        "findings": [f.as_dict() for f in result.findings],
+        "counts": {rule_id: counts[rule_id] for rule_id in sorted(counts)},
+    }
+
+
+def render_json(result: LintResult, baselined: int = 0) -> str:
+    return json.dumps(as_document(result, baselined=baselined),
+                      indent=2, sort_keys=True)

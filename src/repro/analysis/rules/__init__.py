@@ -1,0 +1,16 @@
+"""Bundled ruleset: importing this package registers every rule.
+
+Rule families (see the modules for the individual checks):
+
+* :mod:`.determinism` — ``DET0xx``: no wall-clock reads, no unseeded
+  RNG, no iteration-order-sensitive ``set`` traversal in result paths.
+* :mod:`.numeric` — ``NUM0xx``: scatter writes validate their indices,
+  columnar Trace arrays are never mutated in place, no narrowing or
+  platform-width dtypes.
+* :mod:`.parallel` — ``PAR0xx``: ParallelMap work functions are
+  picklable, cache keys include the code fingerprint, no raw pools.
+* :mod:`.obscov` — ``OBS0xx``: experiment drivers are ``@obs.timed``,
+  instruments are not re-registered inside loops.
+"""
+
+from . import determinism, numeric, obscov, parallel  # noqa: F401

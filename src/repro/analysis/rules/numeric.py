@@ -1,0 +1,196 @@
+"""Numeric-safety rules (``NUM0xx``).
+
+The decoding chain (DCI → TBS → features) is integer-exact by
+construction, and PR 2/PR 3 taught the expensive way that numpy's
+silent conveniences — wrap-around fancy indexing, implicit casts on
+in-place writes, platform-width ``int`` — corrupt results without
+raising.  These rules make each of those a lint error at the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from ..engine import ModuleContext, Rule, call_name, names_in, register
+from ..engine import dotted_name
+
+#: Public column attributes of the columnar Trace storage
+#: (``repro.sniffer.trace``).  In-place element writes cast silently
+#: to the column dtype (float → truncated int, negative → wrapped
+#: uint32), so the data plane owns all mutation.
+_TRACE_COLUMNS = frozenset({"times_s", "rntis", "directions", "tbs_bytes"})
+
+#: Dtypes narrower than the repo's canonical int64/float64, plus the
+#: platform-width builtin ``int`` (int32 on Windows / some ARM ABIs).
+_NARROW_DTYPES = frozenset({
+    "int8", "int16", "int32", "uint8", "uint16", "uint32", "uint64",
+    "float16", "float32", "half", "single", "intc", "short", "byte",
+})
+
+#: ufuncs whose ``.at`` form scatters with wrap-around indexing.
+_SCATTER_UFUNCS = frozenset({
+    "add", "subtract", "multiply", "divide", "maximum", "minimum",
+    "bitwise_or", "bitwise_and", "logical_or", "logical_and",
+})
+
+
+@register
+class UnvalidatedScatterRule(Rule):
+    """NUM001: ``np.<ufunc>.at`` must validate its indices first.
+
+    ``np.add.at(matrix, labels, 1)`` with a negative label silently
+    indexes from the *end* of the array (numpy wrap-around) and with an
+    oversized one raises only sometimes — exactly the confusion-matrix
+    corruption PR 3 fixed.  The rule requires a guard (an ``if``/
+    ``assert``/comparison, or an ``np.clip``-family call) referencing
+    the index expression's names *earlier in the same function*.
+    """
+
+    id = "NUM001"
+    family = "numeric"
+    title = "np.<ufunc>.at scatter without index validation"
+    node_types = (ast.Call,)
+
+    _CLIP_CALLS = frozenset({"clip", "minimum", "maximum", "mod",
+                             "searchsorted", "take"})
+
+    def check(self, node: ast.Call,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        name = call_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        if (len(parts) != 3 or parts[0] not in ("np", "numpy")
+                or parts[2] != "at" or parts[1] not in _SCATTER_UFUNCS):
+            return
+        if len(node.args) < 2:
+            return
+        index_names = names_in(node.args[1])
+        if not index_names:
+            return
+        scope = module.enclosing_function(node) or module.tree
+        if self._validated(scope, index_names, node.lineno):
+            return
+        yield node, (
+            f"`{name}` scatters with wrap-around indexing; validate "
+            f"the index ({', '.join(sorted(index_names))}) for sign "
+            f"and bounds earlier in the same function")
+
+    def _validated(self, scope: ast.AST, index_names: Set[str],
+                   before_line: int) -> bool:
+        for node in ast.walk(scope):
+            if getattr(node, "lineno", before_line) >= before_line:
+                continue
+            if isinstance(node, ast.Compare):
+                if names_in(node) & index_names:
+                    return True
+            elif isinstance(node, ast.Call):
+                if self._is_clip_call(node) and any(
+                        names_in(arg) & index_names for arg in node.args):
+                    return True
+            elif isinstance(node, ast.Assign):
+                # idx = np.clip(raw, 0, n - 1): the index *is* the
+                # clamped value.
+                if isinstance(node.value, ast.Call) and self._is_clip_call(
+                        node.value):
+                    for target in node.targets:
+                        if (isinstance(target, ast.Name)
+                                and target.id in index_names):
+                            return True
+        return False
+
+    def _is_clip_call(self, node: ast.Call) -> bool:
+        name = call_name(node)
+        return (name is not None
+                and name.rsplit(".", 1)[-1] in self._CLIP_CALLS)
+
+
+@register
+class ColumnStoreRule(Rule):
+    """NUM002: no in-place element writes into columnar Trace arrays."""
+
+    id = "NUM002"
+    family = "numeric"
+    title = "in-place write into a columnar Trace array"
+    node_types = (ast.Assign, ast.AugAssign)
+
+    def check(self, node: ast.AST,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr in _TRACE_COLUMNS):
+                yield target, (
+                    f"in-place write into `.{target.value.attr}` casts "
+                    f"silently to the column dtype; build new arrays "
+                    f"via TraceBuilder / Trace.from_arrays instead")
+
+
+def _narrow_dtype(node: ast.AST) -> Optional[str]:
+    """The narrow-dtype spelling used by ``node``, if any."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _NARROW_DTYPES else None
+    name = dotted_name(node)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    if last in _NARROW_DTYPES:
+        return name
+    # Bare builtin `int` is platform-width (C long): int32 on Windows.
+    if name == "int":
+        return name
+    return None
+
+
+@register
+class NarrowDtypeRule(Rule):
+    """NUM003: no narrowing or platform-width dtypes at call sites.
+
+    The canonical dtypes are int64/float64 everywhere except the
+    columnar Trace storage, whose narrow column dtypes live behind the
+    named constants in ``repro.sniffer.trace`` (``RNTI_DTYPE`` et al.)
+    — named constants pass this rule, inline narrow dtypes do not.
+    """
+
+    id = "NUM003"
+    family = "numeric"
+    title = "narrowing / platform-width dtype at a call site"
+    node_types = (ast.Call,)
+
+    _ARRAY_FACTORIES = frozenset({
+        "array", "asarray", "zeros", "ones", "empty", "full", "arange",
+        "fromiter", "frombuffer",
+    })
+
+    def check(self, node: ast.Call,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        # x.astype(np.int32) / x.astype(int) / x.astype("float32")
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            if node.args:
+                spelled = _narrow_dtype(node.args[0])
+                if spelled is not None:
+                    yield node, self._message(spelled)
+            return
+        # np.asarray(x, dtype=np.int32) and friends
+        name = call_name(node)
+        if name is None:
+            return
+        if name.rsplit(".", 1)[-1] not in self._ARRAY_FACTORIES:
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                spelled = _narrow_dtype(keyword.value)
+                if spelled is not None:
+                    yield node, self._message(spelled)
+
+    @staticmethod
+    def _message(spelled: str) -> str:
+        if spelled == "int":
+            return ("dtype `int` is platform-width (int32 on Windows); "
+                    "spell np.int64 so decoded sizes are exact everywhere")
+        return (f"narrowing dtype `{spelled}` truncates silently; use "
+                f"int64/float64, or a named column-dtype constant from "
+                f"repro.sniffer.trace at the data-plane boundary")

@@ -1,0 +1,83 @@
+"""Observability-coverage rules (``OBS0xx``).
+
+PR 3's manifest lines are only as complete as the instrumentation:
+an experiment driver without ``@obs.timed`` leaves a hole in every
+span table, and an instrument fetched inside a loop churns registry
+lookups on the hot path the null-object design exists to protect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..engine import ModuleContext, Rule, call_name, dotted_name, register
+
+_INSTRUMENT_FACTORIES = frozenset({
+    "counter", "gauge", "histogram", "attr_counter",
+})
+
+
+@register
+class MissingTimedRule(Rule):
+    """OBS001: experiment drivers carry ``@obs.timed``.
+
+    Applies to module-level ``run`` / ``run_*`` functions in
+    ``repro.experiments`` (the CLI dispatch targets and their staged
+    helpers) — each is one row of the manifest span table.
+    """
+
+    id = "OBS001"
+    family = "obs"
+    title = "experiment driver without @obs.timed"
+    node_types = (ast.FunctionDef,)
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return (module.in_package("experiments")
+                and not module.dotted.endswith(".common"))
+
+    def check(self, node: ast.FunctionDef,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        if not (node.name == "run" or node.name.startswith("run_")):
+            return
+        if not isinstance(module.parent(node), ast.Module):
+            return
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) \
+                else decorator
+            name = dotted_name(target)
+            if name is not None and name.rsplit(".", 1)[-1] == "timed":
+                return
+        yield node, (
+            f"experiment driver `{node.name}` lacks @obs.timed — its "
+            f"wall time is missing from every run manifest")
+
+
+@register
+class InstrumentInLoopRule(Rule):
+    """OBS002: instruments are fetched once, not per loop iteration.
+
+    ``obs.counter(name)`` resolves registry state on every call; the
+    convention is one fetch at module scope or ``__init__`` time (or
+    per batch), then ``.inc()`` in the loop.
+    """
+
+    id = "OBS002"
+    family = "obs"
+    title = "obs instrument registered inside a loop"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        name = call_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        if not (len(parts) == 2 and parts[0] == "obs"
+                and parts[1] in _INSTRUMENT_FACTORIES):
+            return
+        if module.in_loop(node):
+            yield node, (
+                f"`{name}(...)` inside a loop re-resolves the registry "
+                f"every iteration; fetch the instrument once outside "
+                f"and call .inc()/.observe() in the loop")

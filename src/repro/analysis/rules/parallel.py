@@ -1,0 +1,127 @@
+"""Parallel/cache-safety rules (``PAR0xx``).
+
+The runtime's contract (``repro.runtime``): fan-out goes through
+``ParallelMap`` (ordered results, nesting guard, serial fallback), and
+every trace-cache key includes the simulator code fingerprint so a
+source edit can never resurrect stale traces.  These rules keep new
+call sites inside that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..engine import (ModuleContext, Rule, call_name, is_mapper_receiver,
+                      register)
+
+
+@register
+class UnpicklableWorkRule(Rule):
+    """PAR001: ParallelMap work functions must cross process boundaries.
+
+    A lambda or a function defined inside another function cannot be
+    pickled, so the process backend silently degrades to serial — the
+    fan-out *works* but stops scaling, which no test catches.  Bind
+    parameters with ``functools.partial`` over a module-level function.
+    """
+
+    id = "PAR001"
+    family = "parallel"
+    title = "unpicklable work function passed to ParallelMap.map"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "map" and node.args):
+            return
+        if not is_mapper_receiver(node.func.value, module):
+            return
+        work = node.args[0]
+        if isinstance(work, ast.Lambda):
+            yield work, (
+                "lambda passed to ParallelMap.map cannot be pickled — "
+                "the process backend silently falls back to serial; "
+                "use functools.partial over a module-level function")
+        elif (isinstance(work, ast.Name)
+              and work.id in module.nested_def_names):
+            yield work, (
+                f"`{work.id}` is defined inside a function and cannot "
+                f"be pickled — the process backend silently falls back "
+                f"to serial; move it to module level")
+
+
+@register
+class HandRolledCacheKeyRule(Rule):
+    """PAR002: trace-cache keys come from ``TraceCache.key(...)``.
+
+    ``TraceCache.key`` folds the simulator code fingerprint into every
+    digest; a literal or hand-hashed key bypasses that, so editing the
+    simulator would keep serving stale traces forever.
+    """
+
+    id = "PAR002"
+    family = "parallel"
+    title = "cache key bypasses TraceCache.key (no code fingerprint)"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in ("get", "put") and node.args):
+            return
+        receiver = func.value
+        receiver_name = None
+        if isinstance(receiver, ast.Name):
+            receiver_name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            receiver_name = receiver.attr
+        if receiver_name is None or "cache" not in receiver_name.lower():
+            return
+        key = node.args[0]
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            yield key, (
+                "literal cache key skips the code fingerprint; derive "
+                "keys with TraceCache.key(**params)")
+        elif (isinstance(key, ast.Call)
+              and isinstance(key.func, ast.Attribute)
+              and key.func.attr in ("hexdigest", "digest")):
+            yield key, (
+                "hand-hashed cache key skips the code fingerprint; "
+                "derive keys with TraceCache.key(**params)")
+
+
+@register
+class RawPoolRule(Rule):
+    """PAR003: no raw process/thread pools outside ``repro.runtime``.
+
+    Raw pools lose ParallelMap's guarantees (submission-order results,
+    the nested-pool guard, pickling fallback) and fork-bomb when a
+    worker spawns its own pool.
+    """
+
+    id = "PAR003"
+    family = "parallel"
+    title = "raw executor/pool outside repro.runtime"
+    node_types = (ast.Call,)
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.in_package("runtime")
+
+    def check(self, node: ast.Call,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        name = call_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        last = parts[-1]
+        if last in ("ProcessPoolExecutor", "ThreadPoolExecutor"):
+            yield node, (
+                f"`{name}` bypasses runtime.ParallelMap (ordered "
+                f"results, nesting guard); use runtime.mapper(workers)")
+        elif last == "Pool" and parts[0] in ("multiprocessing", "mp"):
+            yield node, (
+                f"`{name}` bypasses runtime.ParallelMap (ordered "
+                f"results, nesting guard); use runtime.mapper(workers)")

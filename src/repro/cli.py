@@ -11,6 +11,9 @@ harness:
 * ``bench`` — run the component micro-benchmarks once (timings off);
 * ``cache`` — inspect or clear the on-disk trace cache;
 * ``report`` — render JSONL run manifests written by ``--obs-out``;
+* ``lint`` — run the repo's static-analysis ruleset (determinism,
+  numeric safety, parallel/cache safety, obs coverage — see
+  :mod:`repro.analysis`); exits non-zero on findings;
 * ``list`` — show registered apps, operators, and experiments.
 
 Heavy commands take ``--workers`` (or ``REPRO_WORKERS``) to fan trace
@@ -133,6 +136,27 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="only render the last N runs")
     report.add_argument("--json", action="store_true",
                         help="emit raw JSON lines instead of tables")
+
+    lint = sub.add_parser(
+        "lint", help="run the static-analysis ruleset (repro.analysis)")
+    lint.add_argument("paths", nargs="*", type=Path,
+                      default=[Path("src")],
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      dest="lint_format",
+                      help="report format (text: human/CI logs; "
+                           "json: versioned document for tooling)")
+    lint.add_argument("--baseline", type=Path, default=None,
+                      help="grandfathered-findings file (default: "
+                           "lint-baseline.json when it exists)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline with the current "
+                           "findings and exit 0")
+    lint.add_argument("--select", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run "
+                           "(default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
 
     sub.add_parser("list", help="show apps, operators, experiments")
     return parser
@@ -366,6 +390,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default baseline location (repo root, committed, empty by policy).
+_DEFAULT_BASELINE = Path("lint-baseline.json")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyser; exit 0 clean / 1 on new findings."""
+    from .analysis import all_rules, lint_paths
+    from .analysis import baseline as baseline_mod
+    from .analysis import report as report_mod
+    from .analysis.engine import LintResult
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}  [{rule.family}] {rule.title}")
+        return 0
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",")
+                  if part.strip()]
+    try:
+        result = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    baseline_path = args.baseline
+    if baseline_path is None and _DEFAULT_BASELINE.exists():
+        baseline_path = _DEFAULT_BASELINE
+    if args.update_baseline:
+        target = baseline_path if baseline_path is not None \
+            else _DEFAULT_BASELINE
+        document = baseline_mod.write_baseline(target, result.findings)
+        print(f"wrote {len(document['entries'])} entries to {target}")
+        return 0
+    baselined = 0
+    if baseline_path is not None:
+        grandfathered = baseline_mod.load_baseline(baseline_path)
+        new, old = baseline_mod.apply_baseline(result.findings,
+                                               grandfathered)
+        baselined = len(old)
+        result = LintResult(findings=new,
+                            files_scanned=result.files_scanned,
+                            suppressed=result.suppressed)
+    if args.lint_format == "json":
+        print(report_mod.render_json(result, baselined=baselined))
+    else:
+        print(report_mod.render_text(result, baselined=baselined))
+    return 0 if result.ok else 1
+
+
 def _cmd_list() -> int:
     print("apps:")
     for name in app_names():
@@ -408,6 +481,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -276,7 +276,8 @@ def volume_series(trace: Trace, bin_s: float = 1.0,
     times = trace.times_s
     start = times[0]
     n_bins = int(np.floor((times[-1] - start) / bin_s)) + 1
-    indices = np.minimum(((times - start) / bin_s).astype(int), n_bins - 1)
+    indices = np.minimum(((times - start) / bin_s).astype(np.int64),
+                         n_bins - 1)
     if value == "frames":
         weights = None
     else:

@@ -57,6 +57,7 @@ class FingerprintResult:
         return sum(values) / len(values)
 
 
+@obs.timed("experiment.table3.fingerprinting")
 def run_fingerprinting(operator: OperatorProfile, scale: Scale,
                        views=DIRECTION_VIEWS, seed: int = 11,
                        day: int = 0) -> FingerprintResult:

@@ -129,7 +129,7 @@ class ProportionalFairScheduler(MACScheduler):
             remaining -= grant.n_prb
             served_bytes[demand.rnti] = grant.tbs_bytes
         # Decay every known average; credit the served UEs.
-        for rnti in {d.rnti for d in demands} | set(self._avg_rate):
+        for rnti in sorted({d.rnti for d in demands} | set(self._avg_rate)):
             previous = self._avg_rate.get(rnti, 1.0)
             self._avg_rate[rnti] = ((1.0 - self._alpha) * previous
                                     + self._alpha * served_bytes.get(rnti, 0))

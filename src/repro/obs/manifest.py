@@ -43,7 +43,10 @@ class RunManifest:
     def __init__(self, command: str, params: Optional[dict] = None) -> None:
         self.command = command
         self.params = dict(params or {})
-        self.started_unix = time.time()
+        # Provenance, not simulation state: a manifest records *when*
+        # the run happened in the real world, which is the one place
+        # wall clock is the right clock.
+        self.started_unix = time.time()  # repro: noqa[DET001]
         self._t0 = time.perf_counter()
         self.result: Optional[dict] = None
         self.ok = True

@@ -1,0 +1,183 @@
+"""Engine mechanics: suppressions, baselines, scoping, file discovery."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.baseline import (apply_baseline, fingerprint,
+                                     load_baseline, write_baseline)
+from repro.analysis.engine import _dotted_module_name, suppressions
+
+FIXTURE = Path("repro/core/fixture.py")
+
+
+# -- suppressions -----------------------------------------------------------------
+
+
+def test_targeted_noqa_suppresses_only_that_rule():
+    src = "import time\nstart = time.time()  # repro: noqa[DET001]\n"
+    result = lint_source(src, FIXTURE)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_bare_noqa_suppresses_every_rule_on_the_line():
+    src = "import time\nstart = time.time()  # repro: noqa\n"
+    result = lint_source(src, FIXTURE)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    src = "import time\nstart = time.time()  # repro: noqa[NUM001]\n"
+    result = lint_source(src, FIXTURE)
+    assert [f.rule for f in result.findings] == ["DET001"]
+
+
+def test_noqa_on_other_line_does_not_suppress():
+    src = ("import time\n"
+           "# repro: noqa[DET001]\n"
+           "start = time.time()\n")
+    result = lint_source(src, FIXTURE)
+    assert [f.rule for f in result.findings] == ["DET001"]
+
+
+def test_noqa_inside_string_literal_is_not_a_suppression():
+    src = ("import time\n"
+           "doc = 'use # repro: noqa[DET001] sparingly'\n"
+           "start = time.time()\n")
+    result = lint_source(src, FIXTURE)
+    assert [f.rule for f in result.findings] == ["DET001"]
+
+
+def test_suppression_scan_parses_comma_separated_ids():
+    src = "x = 1  # repro: noqa[DET001, NUM002]\n"
+    assert suppressions(src) == {1: {"DET001", "NUM002"}}
+
+
+def test_manifest_noqa_exemplar_is_live():
+    """The shipped exemplar suppression keeps manifest.py clean."""
+    path = Path(__file__).resolve().parents[2] \
+        / "src" / "repro" / "obs" / "manifest.py"
+    source = path.read_text(encoding="utf-8")
+    assert "# repro: noqa[DET001]" in source
+    result = lint_source(source, path)
+    assert result.findings == []
+    assert result.suppressed >= 1
+
+
+# -- baseline round-trip ----------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    src = "import time\nstart = time.time()\n"
+    result = lint_source(src, FIXTURE)
+    assert len(result.findings) == 1
+    baseline_file = tmp_path / "baseline.json"
+    document = write_baseline(baseline_file, result.findings)
+    assert document["version"] == 1
+    assert len(document["entries"]) == 1
+
+    grandfathered = load_baseline(baseline_file)
+    new, old = apply_baseline(result.findings, grandfathered)
+    assert new == []
+    assert len(old) == 1
+
+
+def test_baseline_fingerprint_survives_line_shift():
+    src_a = "import time\nstart = time.time()\n"
+    src_b = "import time\n\n\n# moved down\nstart = time.time()\n"
+    finding_a = lint_source(src_a, FIXTURE).findings[0]
+    finding_b = lint_source(src_b, FIXTURE).findings[0]
+    assert finding_a.line != finding_b.line
+    assert fingerprint(finding_a) == fingerprint(finding_b)
+
+
+def test_baseline_does_not_mask_new_findings(tmp_path):
+    old_src = "import time\nstart = time.time()\n"
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_source(old_src, FIXTURE).findings)
+
+    new_src = ("import time\nimport numpy as np\n"
+               "start = time.time()\n"
+               "x = np.random.rand(3)\n")
+    grandfathered = load_baseline(baseline_file)
+    new, old = apply_baseline(lint_source(new_src, FIXTURE).findings,
+                              grandfathered)
+    assert [f.rule for f in old] == ["DET001"]
+    assert [f.rule for f in new] == ["DET002"]
+
+
+def test_load_baseline_rejects_other_documents(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        load_baseline(bogus)
+    not_a_baseline = tmp_path / "other.json"
+    not_a_baseline.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError):
+        load_baseline(not_a_baseline)
+
+
+# -- module scoping ---------------------------------------------------------------
+
+
+def test_dotted_module_name_from_repro_tree():
+    assert _dotted_module_name(
+        Path("src/repro/experiments/table3_lab.py")) \
+        == "repro.experiments.table3_lab"
+    assert _dotted_module_name(Path("src/repro/obs/__init__.py")) \
+        == "repro.obs"
+    assert _dotted_module_name(Path("scratch/fixture.py")) == "fixture"
+
+
+def test_fixture_trees_scope_like_the_real_package(tmp_path):
+    # Package-scoped rules key on the path from the last `repro`
+    # component, so a fixture tree under tmp_path scopes identically.
+    driver = tmp_path / "repro" / "experiments" / "tableX.py"
+    driver.parent.mkdir(parents=True)
+    driver.write_text("def run(scale='fast'):\n    return 1\n")
+    result = lint_paths([tmp_path])
+    assert [f.rule for f in result.findings] == ["OBS001"]
+
+
+# -- engine robustness ------------------------------------------------------------
+
+
+def test_syntax_error_becomes_eng001_finding():
+    result = lint_source("def broken(:\n", Path("repro/core/broken.py"))
+    assert [f.rule for f in result.findings] == ["ENG001"]
+    assert result.findings[0].family == "engine"
+
+
+def test_unknown_select_id_raises():
+    with pytest.raises(ValueError, match="NOPE"):
+        lint_paths([Path("src/repro/analysis")], select=["NOPE"])
+
+
+def test_findings_are_deterministically_ordered(tmp_path):
+    b = tmp_path / "repro" / "b.py"
+    a = tmp_path / "repro" / "a.py"
+    b.parent.mkdir(parents=True)
+    b.write_text("import time\nx = time.time()\ny = time.time()\n")
+    a.write_text("import time\nz = time.time()\n")
+    result = lint_paths([tmp_path])
+    locations = [(f.path, f.line) for f in result.findings]
+    assert locations == sorted(locations)
+    assert result.files_scanned == 2
+
+
+def test_pycache_and_hidden_dirs_are_skipped(tmp_path):
+    tree = tmp_path / "repro"
+    (tree / "__pycache__").mkdir(parents=True)
+    (tree / ".hidden").mkdir()
+    (tree / "__pycache__" / "junk.py").write_text(
+        "import time\nx = time.time()\n")
+    (tree / ".hidden" / "junk.py").write_text(
+        "import time\nx = time.time()\n")
+    (tree / "ok.py").write_text("VALUE = 1\n")
+    result = lint_paths([tmp_path])
+    assert result.findings == []
+    assert result.files_scanned == 1

@@ -1,0 +1,316 @@
+"""One positive and one negative fixture per rule.
+
+Each case lints a small snippet through the real engine (same parse,
+dispatch, and suppression path as the CLI) and asserts on the rule ids
+that fire.  Paths are chosen so package-scoped rules see the module
+layout they scope on.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source
+
+#: Default fixture path: inside the repro tree, outside any scoped
+#: package, so unscoped rules apply and scoped ones don't.
+GENERIC = Path("repro/core/fixture.py")
+
+
+def rules_fired(source: str, path: Path = GENERIC):
+    result = lint_source(source, path)
+    return sorted({f.rule for f in result.findings})
+
+
+# -- DET001: wall-clock reads -----------------------------------------------------
+
+
+def test_det001_positive_time_time():
+    assert rules_fired("import time\nstart = time.time()\n") == ["DET001"]
+
+
+def test_det001_positive_datetime_now():
+    src = "from datetime import datetime\nstamp = datetime.now()\n"
+    assert "DET001" in rules_fired(src)
+
+
+def test_det001_negative_perf_counter():
+    src = "import time\nelapsed = time.perf_counter()\n"
+    assert rules_fired(src) == []
+
+
+# -- DET002: unseeded / global RNG ------------------------------------------------
+
+
+def test_det002_positive_global_sampler():
+    src = "import numpy as np\nx = np.random.rand(4)\n"
+    assert rules_fired(src) == ["DET002"]
+
+
+def test_det002_positive_unseeded_default_rng():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert rules_fired(src) == ["DET002"]
+
+
+def test_det002_positive_stdlib_global():
+    src = "import random\nrandom.shuffle(items)\n"
+    assert rules_fired(src) == ["DET002"]
+
+
+def test_det002_negative_seeded_rng():
+    src = ("import numpy as np\nimport random\n"
+           "rng = np.random.default_rng(7)\n"
+           "r = random.Random(7)\n"
+           "x = rng.integers(0, 10)\n")
+    assert rules_fired(src) == []
+
+
+# -- DET003: set iteration --------------------------------------------------------
+
+
+def test_det003_positive_for_over_union():
+    src = ("def f(a, b):\n"
+           "    out = []\n"
+           "    for item in set(a) | set(b):\n"
+           "        out.append(item)\n"
+           "    return out\n")
+    assert rules_fired(src) == ["DET003"]
+
+
+def test_det003_positive_list_of_set():
+    assert rules_fired("order = list({3, 1, 2})\n") == ["DET003"]
+
+
+def test_det003_negative_sorted_set():
+    src = ("def f(a, b):\n"
+           "    return [item for item in sorted(set(a) | set(b))]\n")
+    assert rules_fired(src) == []
+
+
+# -- NUM001: unvalidated scatter --------------------------------------------------
+
+
+def test_num001_positive_unvalidated_add_at():
+    src = ("import numpy as np\n"
+           "def count(matrix, labels):\n"
+           "    np.add.at(matrix, labels, 1)\n")
+    assert rules_fired(src) == ["NUM001"]
+
+
+def test_num001_negative_guarded_add_at():
+    src = ("import numpy as np\n"
+           "def count(matrix, labels):\n"
+           "    if labels.min() < 0:\n"
+           "        raise ValueError('negative label')\n"
+           "    np.add.at(matrix, labels, 1)\n")
+    assert rules_fired(src) == []
+
+
+def test_num001_negative_clipped_indices():
+    src = ("import numpy as np\n"
+           "def count(matrix, labels, n):\n"
+           "    safe = np.clip(labels, 0, n - 1)\n"
+           "    np.add.at(matrix, safe, 1)\n")
+    assert rules_fired(src) == []
+
+
+# -- NUM002: in-place writes into Trace columns -----------------------------------
+
+
+def test_num002_positive_subscript_store():
+    src = "def patch(trace):\n    trace.tbs_bytes[0] = 12.5\n"
+    assert rules_fired(src) == ["NUM002"]
+
+
+def test_num002_positive_augmented_store():
+    src = "def bump(trace, i):\n    trace.rntis[i] += 1\n"
+    assert rules_fired(src) == ["NUM002"]
+
+
+def test_num002_negative_read_and_rebuild():
+    src = ("def shift(trace):\n"
+           "    sizes = trace.tbs_bytes + 1\n"
+           "    first = trace.rntis[0]\n"
+           "    return sizes, first\n")
+    assert rules_fired(src) == []
+
+
+# -- NUM003: narrowing dtypes -----------------------------------------------------
+
+
+def test_num003_positive_astype_int32():
+    src = "import numpy as np\ny = x.astype(np.int32)\n"
+    assert rules_fired(src) == ["NUM003"]
+
+
+def test_num003_positive_platform_int():
+    assert rules_fired("y = x.astype(int)\n") == ["NUM003"]
+
+
+def test_num003_positive_dtype_keyword():
+    src = "import numpy as np\ny = np.zeros(8, dtype='float32')\n"
+    assert rules_fired(src) == ["NUM003"]
+
+
+def test_num003_negative_wide_and_named_dtypes():
+    src = ("import numpy as np\n"
+           "from repro.sniffer.trace import RNTI_DTYPE\n"
+           "a = x.astype(np.int64)\n"
+           "b = np.zeros(4, dtype=np.float64)\n"
+           "c = np.asarray(x, dtype=RNTI_DTYPE)\n")
+    assert rules_fired(src) == []
+
+
+# -- PAR001: unpicklable work functions -------------------------------------------
+
+
+def test_par001_positive_lambda():
+    src = ("from repro import runtime\n"
+           "def fit(items):\n"
+           "    return runtime.mapper(4).map(lambda x: x + 1, items)\n")
+    assert rules_fired(src) == ["PAR001"]
+
+
+def test_par001_positive_nested_def():
+    src = ("from repro.runtime import ParallelMap\n"
+           "def fit(items):\n"
+           "    def work(x):\n"
+           "        return x + 1\n"
+           "    pmap = ParallelMap(workers=4)\n"
+           "    return pmap.map(work, items)\n")
+    assert rules_fired(src) == ["PAR001"]
+
+
+def test_par001_negative_partial_of_module_fn():
+    src = ("import functools\n"
+           "from repro import runtime\n"
+           "def _work(x, bias):\n"
+           "    return x + bias\n"
+           "def fit(items):\n"
+           "    work = functools.partial(_work, bias=2)\n"
+           "    return runtime.mapper(4).map(work, items)\n")
+    assert rules_fired(src) == []
+
+
+def test_par001_negative_builtin_map_lambda():
+    # map(lambda ...) over a plain list is not a ParallelMap fan-out.
+    src = "out = list(map(str, [1, 2]))\nxs = [x for x in out]\n"
+    assert rules_fired(src) == []
+
+
+# -- PAR002: hand-rolled cache keys -----------------------------------------------
+
+
+def test_par002_positive_literal_key():
+    src = "def warm(cache, value):\n    cache.put('abc123', value)\n"
+    assert rules_fired(src) == ["PAR002"]
+
+
+def test_par002_positive_hand_hashed_key():
+    src = ("import hashlib\n"
+           "def lookup(cache, blob):\n"
+           "    return cache.get(hashlib.sha256(blob).hexdigest())\n")
+    assert rules_fired(src) == ["PAR002"]
+
+
+def test_par002_negative_key_method():
+    src = ("def lookup(cache, app, seed):\n"
+           "    return cache.get(cache.key(app=app, seed=seed))\n")
+    assert rules_fired(src) == []
+
+
+def test_par002_negative_plain_dict_variable_key():
+    src = ("def lookup(cache, name):\n"
+           "    return cache.get(name)\n")
+    assert rules_fired(src) == []
+
+
+# -- PAR003: raw pools ------------------------------------------------------------
+
+
+def test_par003_positive_raw_executor():
+    src = ("from concurrent.futures import ProcessPoolExecutor\n"
+           "def fanout(fn, items):\n"
+           "    with ProcessPoolExecutor(4) as pool:\n"
+           "        return list(pool.map(fn, items))\n")
+    assert rules_fired(src) == ["PAR003"]
+
+
+def test_par003_negative_inside_runtime_package():
+    src = ("from concurrent.futures import ProcessPoolExecutor\n"
+           "pool = ProcessPoolExecutor(2)\n")
+    path = Path("repro/runtime/parallel.py")
+    assert rules_fired(src, path) == []
+
+
+# -- OBS001: @obs.timed on experiment drivers -------------------------------------
+
+_EXPERIMENT = Path("repro/experiments/table9_new.py")
+
+
+def test_obs001_positive_undecorated_run():
+    src = "def run(scale='fast'):\n    return 1\n"
+    assert rules_fired(src, _EXPERIMENT) == ["OBS001"]
+
+
+def test_obs001_negative_decorated_run():
+    src = ("from .. import obs\n"
+           "@obs.timed('experiment.table9')\n"
+           "def run(scale='fast'):\n"
+           "    return 1\n")
+    assert rules_fired(src, _EXPERIMENT) == []
+
+
+def test_obs001_negative_outside_experiments():
+    src = "def run(scale='fast'):\n    return 1\n"
+    assert rules_fired(src, GENERIC) == []
+
+
+def test_obs001_negative_helper_name():
+    src = "def _stage(scale):\n    return 1\n"
+    assert rules_fired(src, _EXPERIMENT) == []
+
+
+# -- OBS002: instrument registration in loops -------------------------------------
+
+
+def test_obs002_positive_counter_in_loop():
+    src = ("from repro import obs\n"
+           "def tick(items):\n"
+           "    for item in items:\n"
+           "        obs.counter('sim.items').inc()\n")
+    assert rules_fired(src) == ["OBS002"]
+
+
+def test_obs002_negative_fetch_once():
+    src = ("from repro import obs\n"
+           "def tick(items):\n"
+           "    items_obs = obs.counter('sim.items')\n"
+           "    for item in items:\n"
+           "        items_obs.inc()\n")
+    assert rules_fired(src) == []
+
+
+# -- registry sanity --------------------------------------------------------------
+
+
+def test_ruleset_covers_all_four_families():
+    from repro.analysis import all_rules
+
+    rules = all_rules()
+    assert len(rules) >= 8
+    families = {rule.family for rule in rules.values()}
+    assert families == {"determinism", "numeric", "parallel", "obs"}
+    # Ids are unique by construction; check the naming convention.
+    for rule_id in rules:
+        assert rule_id[:3] in ("DET", "NUM", "PAR", "OBS")
+
+
+@pytest.mark.parametrize("rule_id", [
+    "DET001", "DET002", "DET003", "NUM001", "NUM002", "NUM003",
+    "PAR001", "PAR002", "PAR003", "OBS001", "OBS002",
+])
+def test_every_shipped_rule_is_registered(rule_id):
+    from repro.analysis import all_rules
+
+    assert rule_id in all_rules()
