@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-features bench-smoke bench-lint \
-	clean-cache lint report
+.PHONY: test test-fast test-faults bench bench-features bench-smoke \
+	bench-lint clean-cache lint report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -12,6 +12,12 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/core tests/ml tests/lte tests/apps \
 		tests/sniffer tests/operators -q
+
+## Fault-injection subsystem: property/differential invariants, plan +
+## cache semantics, and the burst-loss degradation integration test.
+test-faults:
+	$(PYTHON) -m pytest tests/faults tests/properties \
+		tests/integration/test_fault_degradation.py -q
 
 ## Component micro-benchmarks with timing enabled (slow; writes results/).
 bench:

@@ -14,6 +14,9 @@ The package is organised as:
 * :mod:`repro.core` — the paper's contribution: feature extraction,
   the hierarchical fingerprinting classifier, and the three attacks
   (fingerprinting, history, correlation) plus the attacker cost model;
+* :mod:`repro.faults` — deterministic fault injection: seeded,
+  composable trace-degradation plans bridging the clean simulator and
+  the imperfect captures the paper's real-world numbers come from;
 * :mod:`repro.operators` — lab and carrier environment profiles;
 * :mod:`repro.experiments` — one module per paper table/figure.
 """

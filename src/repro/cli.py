@@ -51,7 +51,17 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
                             "manifest to this file (see 'repro report')")
 
 
-def _configure_runtime(args: argparse.Namespace) -> None:
+def _load_fault_plan(args: argparse.Namespace):
+    """Parse ``--faults PLAN.json`` (None when the flag is absent)."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    from .faults import FaultPlan
+
+    return FaultPlan.from_file(path)
+
+
+def _configure_runtime(args: argparse.Namespace, fault_plan=None) -> None:
     """Apply --workers/--no-cache/--cache-dir/--obs-out to the runtime."""
     # Enable collection *before* any pipeline component is constructed:
     # instruments are fetched at __init__ time.
@@ -61,6 +71,8 @@ def _configure_runtime(args: argparse.Namespace) -> None:
         workers=getattr(args, "workers", None),
         cache_enabled=False if getattr(args, "no_cache", False) else None,
         cache_dir=getattr(args, "cache_dir", None))
+    if fault_plan is not None:
+        runtime.configure(fault_plan=fault_plan)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,6 +100,10 @@ def _build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--seed", type=int, default=0)
     collect.add_argument("--background", type=int, default=0,
                          help="number of concurrent background apps")
+    collect.add_argument("--faults", type=Path, default=None,
+                         metavar="PLAN.json",
+                         help="fault-injection plan applied to every "
+                              "capture (see EXPERIMENTS.md)")
     _add_runtime_args(collect)
 
     train = sub.add_parser("train", help="train + evaluate on a trace dir")
@@ -111,9 +127,14 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name",
                             help="table3|table4|table5|table6|table7|"
                                  "table8|fig8|fig9|window|cost|"
-                                 "countermeasures|fiveg|handover|ablation")
+                                 "countermeasures|fiveg|handover|"
+                                 "robustness|ablation")
     experiment.add_argument("--scale", default="fast",
                             choices=("fast", "full"))
+    experiment.add_argument("--faults", type=Path, default=None,
+                            metavar="PLAN.json",
+                            help="fault-injection plan applied to every "
+                                 "capture (see EXPERIMENTS.md)")
     _add_runtime_args(experiment)
 
     bench = sub.add_parser(
@@ -270,6 +291,7 @@ _EXPERIMENTS = {
     "countermeasures": ("countermeasures", "run"),
     "fiveg": ("fiveg", "run"),
     "handover": ("handover", "run"),
+    "robustness": ("robustness", "run"),
 }
 
 
@@ -452,11 +474,21 @@ def _cmd_list() -> int:
     return 0
 
 
-def _manifest_params(args: argparse.Namespace) -> dict:
-    """The run parameters recorded in a manifest line."""
-    skip = {"command", "obs_out"}
-    return {key: value for key, value in sorted(vars(args).items())
-            if key not in skip and value is not None}
+def _manifest_params(args: argparse.Namespace,
+                     fault_plan=None) -> dict:
+    """The run parameters recorded in a manifest line.
+
+    A fault plan is recorded as its full document plus its fingerprint,
+    so a manifest line is enough to re-derive the exact faulted dataset
+    (the fingerprint matches the ``faults=`` cache-key field).
+    """
+    skip = {"command", "obs_out", "faults"}
+    params = {key: value for key, value in sorted(vars(args).items())
+              if key not in skip and value is not None}
+    if fault_plan is not None:
+        params["faults"] = fault_plan.as_dict()
+        params["faults_fingerprint"] = fault_plan.fingerprint()
+    return params
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -465,8 +497,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = _build_parser().parse_args(argv)
     if args.command in ("collect", "train", "experiment", "bench"):
-        _configure_runtime(args)
-        with run_scope(args.command, _manifest_params(args),
+        try:
+            fault_plan = _load_fault_plan(args)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        _configure_runtime(args, fault_plan)
+        with run_scope(args.command, _manifest_params(args, fault_plan),
                        out=args.obs_out) as manifest:
             if args.command == "collect":
                 return _cmd_collect(args, manifest)

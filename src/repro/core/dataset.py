@@ -21,6 +21,7 @@ from .. import obs, runtime
 from ..apps import BackgroundMix, category_of, make_app
 from ..apps.paired import make_chat_pair
 from ..apps.voip import make_call_pair
+from ..faults import FaultPlan, apply_plan
 from ..lte.network import LTENetwork
 from ..ml.base import LabelEncoder
 from ..operators.profiles import LAB, OperatorProfile
@@ -34,13 +35,30 @@ def _scaled_day(day: int, operator: OperatorProfile) -> int:
     return int(round(day * operator.drift_multiplier))
 
 
+def _resolve_plan(explicit: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """The effective fault plan: explicit arg > runtime config > none.
+
+    Noop plans (no faults) normalise to ``None`` so a fault-free plan
+    yields cache keys and trace bytes identical to running with no plan
+    at all — the differential suite's golden-equivalence property.
+    """
+    plan = explicit if explicit is not None else runtime.fault_plan()
+    if plan is not None and plan.is_noop:
+        return None
+    return plan
+
+
 def _trace_key(cache, app_name: str, operator: OperatorProfile,
                duration_s: float, seed: int, day: int,
-               background_count: int, settle_s: float) -> str:
+               background_count: int, settle_s: float,
+               fault_plan: Optional[FaultPlan] = None) -> str:
     """Content address of one trace simulation (code version included)."""
-    return cache.key(kind="trace", app=app_name, operator=repr(operator),
-                     duration_s=duration_s, seed=seed, day=day,
-                     background_count=background_count, settle_s=settle_s)
+    fields = dict(kind="trace", app=app_name, operator=repr(operator),
+                  duration_s=duration_s, seed=seed, day=day,
+                  background_count=background_count, settle_s=settle_s)
+    if fault_plan is not None:
+        fields["faults"] = fault_plan.fingerprint()
+    return cache.key(**fields)
 
 
 def _simulate_trace(app_name: str, operator: OperatorProfile = LAB,
@@ -79,20 +97,26 @@ def _simulate_trace(app_name: str, operator: OperatorProfile = LAB,
 
 def _simulate_trace_task(spec: Tuple[str, int], *,
                          operator: OperatorProfile, duration_s: float,
-                         day: int, background_count: int,
-                         settle_s: float) -> Trace:
-    """ParallelMap work function: one (app, pre-derived seed) item."""
+                         day: int, background_count: int, settle_s: float,
+                         fault_plan: Optional[FaultPlan] = None) -> Trace:
+    """ParallelMap work function: one (app, pre-derived seed) item.
+
+    The fault plan is applied *inside* the worker, keyed on the item's
+    pre-derived seed, so serial and process backends corrupt each trace
+    identically regardless of execution order.
+    """
     app_name, item_seed = spec
-    return _simulate_trace(app_name, operator=operator,
-                           duration_s=duration_s, seed=item_seed, day=day,
-                           background_count=background_count,
-                           settle_s=settle_s)
+    trace = _simulate_trace(app_name, operator=operator,
+                            duration_s=duration_s, seed=item_seed, day=day,
+                            background_count=background_count,
+                            settle_s=settle_s)
+    return apply_plan(trace, fault_plan, item_seed=item_seed)
 
 
 def collect_trace(app_name: str, operator: OperatorProfile = LAB,
                   duration_s: float = 60.0, seed: int = 0, day: int = 0,
-                  background_count: int = 0,
-                  settle_s: float = 2.0) -> Trace:
+                  background_count: int = 0, settle_s: float = 2.0,
+                  fault_plan: Optional[FaultPlan] = None) -> Trace:
     """Capture one labelled trace of one app in one environment.
 
     Builds a fresh single-cell network under the operator profile, runs
@@ -100,13 +124,19 @@ def collect_trace(app_name: str, operator: OperatorProfile = LAB,
     post-session drain time), sniffs the PDCCH, and returns the victim's
     merged per-user trace, rebased to t = 0 and labelled.
 
+    When a fault plan is in force (``fault_plan=`` or the runtime's
+    process-wide plan) the plan corrupts the capture deterministically,
+    and the cache key gains the plan fingerprint so faulted and clean
+    datasets never collide on disk.
+
     When the runtime trace cache is enabled, a previously simulated
     identical campaign is returned from disk instead of re-simulated.
     """
+    plan = _resolve_plan(fault_plan)
     cache = runtime.trace_cache()
     if cache is not None:
         key = _trace_key(cache, app_name, operator, duration_s, seed, day,
-                         background_count, settle_s)
+                         background_count, settle_s, fault_plan=plan)
         hit = cache.get(key)
         if hit is not None:
             return hit
@@ -115,6 +145,7 @@ def collect_trace(app_name: str, operator: OperatorProfile = LAB,
                             background_count=background_count,
                             settle_s=settle_s)
     runtime.record_simulations(1)
+    trace = apply_plan(trace, plan, item_seed=seed)
     if cache is not None:
         cache.put(key, trace)
     return trace
@@ -125,15 +156,18 @@ def collect_traces(app_names: Sequence[str],
                    traces_per_app: int = 4, duration_s: float = 60.0,
                    seed: int = 0, day: int = 0,
                    background_count: int = 0,
-                   workers: Optional[int] = None) -> TraceSet:
+                   workers: Optional[int] = None,
+                   fault_plan: Optional[FaultPlan] = None) -> TraceSet:
     """Capture a labelled TraceSet across apps (one campaign).
 
     The campaign fans out over the runtime's ParallelMap: per-trace
     seeds are pre-derived from the position in the campaign (never from
     execution order) and results are reassembled by index, so any
-    ``workers`` count yields a bit-identical TraceSet.  Cache hits are
-    resolved up front and only the misses are simulated.
+    ``workers`` count yields a bit-identical TraceSet — including the
+    fault plan, which each worker applies keyed on its item seed.
+    Cache hits are resolved up front and only the misses are simulated.
     """
+    plan = _resolve_plan(fault_plan)
     specs: List[Tuple[str, int]] = []
     counter = 0
     for app_name in app_names:
@@ -149,7 +183,8 @@ def collect_traces(app_names: Sequence[str],
         for index, (app_name, item_seed) in enumerate(specs):
             if cache is not None:
                 key = _trace_key(cache, app_name, operator, duration_s,
-                                 item_seed, day, background_count, settle_s)
+                                 item_seed, day, background_count, settle_s,
+                                 fault_plan=plan)
                 hit = cache.get(key)
                 if hit is not None:
                     results[index] = hit
@@ -159,7 +194,8 @@ def collect_traces(app_names: Sequence[str],
             work = functools.partial(
                 _simulate_trace_task, operator=operator,
                 duration_s=duration_s, day=day,
-                background_count=background_count, settle_s=settle_s)
+                background_count=background_count, settle_s=settle_s,
+                fault_plan=plan)
             simulated = runtime.mapper(workers).map(
                 work, [spec for _, spec in pending])
             runtime.record_simulations(len(pending))
@@ -169,7 +205,8 @@ def collect_traces(app_names: Sequence[str],
                 if cache is not None:
                     cache.put(_trace_key(cache, app_name, operator,
                                          duration_s, item_seed, day,
-                                         background_count, settle_s), trace)
+                                         background_count, settle_s,
+                                         fault_plan=plan), trace)
         traces = TraceSet()
         for trace in results:
             traces.add(trace)
@@ -177,10 +214,23 @@ def collect_traces(app_names: Sequence[str],
 
 
 def _pair_key(cache, app_name: str, kind: str, operator: OperatorProfile,
-              duration_s: float, seed: int, day: int) -> str:
-    return cache.key(kind=f"pair-{kind}", app=app_name,
-                     operator=repr(operator), duration_s=duration_s,
-                     seed=seed, day=day)
+              duration_s: float, seed: int, day: int,
+              fault_plan: Optional[FaultPlan] = None) -> str:
+    fields = dict(kind=f"pair-{kind}", app=app_name,
+                  operator=repr(operator), duration_s=duration_s,
+                  seed=seed, day=day)
+    if fault_plan is not None:
+        fields["faults"] = fault_plan.fingerprint()
+    return cache.key(**fields)
+
+
+def _fault_pair(pair: Tuple[Trace, Trace], plan: Optional[FaultPlan],
+                seed: int) -> Tuple[Trace, Trace]:
+    """Apply a plan to both conversation legs with distinct item seeds."""
+    if plan is None:
+        return pair
+    return (apply_plan(pair[0], plan, item_seed=2 * seed),
+            apply_plan(pair[1], plan, item_seed=2 * seed + 1))
 
 
 def _simulate_pair(app_name: str, kind: str,
@@ -223,36 +273,43 @@ def _simulate_pair(app_name: str, kind: str,
     return out[0], out[1]
 
 
-def _simulate_pair_task(spec: "PairSpec") -> Tuple[Trace, Trace]:
+def _simulate_pair_task(spec: "PairSpec", *,
+                        fault_plan: Optional[FaultPlan] = None
+                        ) -> Tuple[Trace, Trace]:
     """ParallelMap work function for one PairSpec."""
-    return _simulate_pair(spec.app_name, spec.kind, operator=spec.operator,
+    pair = _simulate_pair(spec.app_name, spec.kind, operator=spec.operator,
                           duration_s=spec.duration_s, seed=spec.seed,
                           day=spec.day)
+    return _fault_pair(pair, fault_plan, spec.seed)
 
 
 def collect_pair(app_name: str, kind: str,
                  operator: OperatorProfile = LAB,
-                 duration_s: float = 60.0, seed: int = 0,
-                 day: int = 0) -> Tuple[Trace, Trace]:
+                 duration_s: float = 60.0, seed: int = 0, day: int = 0,
+                 fault_plan: Optional[FaultPlan] = None
+                 ) -> Tuple[Trace, Trace]:
     """Capture the two legs of one conversation (correlation attack).
 
     ``kind`` is ``"chat"`` (messaging apps) or ``"call"`` (VoIP apps).
     Both UEs live in the same cell; one sniffer separates them by
     identity mapping, exactly as the attack would.  Cached like
-    :func:`collect_trace` (both legs stored as one entry).
+    :func:`collect_trace` (both legs stored as one entry); fault plans
+    corrupt the two legs with distinct per-leg seeds.
     """
     if kind not in ("chat", "call"):
         raise ValueError(f"kind must be 'chat' or 'call': {kind!r}")
+    plan = _resolve_plan(fault_plan)
     cache = runtime.trace_cache()
     if cache is not None:
         key = _pair_key(cache, app_name, kind, operator, duration_s, seed,
-                        day)
+                        day, fault_plan=plan)
         hit = cache.get(key)
         if hit is not None:
             return hit
     pair = _simulate_pair(app_name, kind, operator=operator,
                           duration_s=duration_s, seed=seed, day=day)
     runtime.record_simulations(1)
+    pair = _fault_pair(pair, plan, seed)
     if cache is not None:
         cache.put(key, pair)
     return pair
@@ -276,7 +333,8 @@ class PairSpec:
 
 
 def collect_pairs(specs: Sequence[PairSpec],
-                  workers: Optional[int] = None
+                  workers: Optional[int] = None,
+                  fault_plan: Optional[FaultPlan] = None
                   ) -> List[Tuple[Trace, Trace]]:
     """Capture many conversation pairs with caching + fan-out.
 
@@ -284,6 +342,7 @@ def collect_pairs(specs: Sequence[PairSpec],
     fully seeded campaigns; like :func:`collect_traces`, results come
     back in spec order bit-identical to a serial run.
     """
+    plan = _resolve_plan(fault_plan)
     with obs.span("dataset.collect_pairs"):
         cache = runtime.trace_cache()
         results: List[Optional[Tuple[Trace, Trace]]] = [None] * len(specs)
@@ -292,14 +351,16 @@ def collect_pairs(specs: Sequence[PairSpec],
             if cache is not None:
                 hit = cache.get(_pair_key(cache, spec.app_name, spec.kind,
                                           spec.operator, spec.duration_s,
-                                          spec.seed, spec.day))
+                                          spec.seed, spec.day,
+                                          fault_plan=plan))
                 if hit is not None:
                     results[index] = hit
                     continue
             pending.append(index)
         if pending:
+            work = functools.partial(_simulate_pair_task, fault_plan=plan)
             simulated = runtime.mapper(workers).map(
-                _simulate_pair_task, [specs[index] for index in pending])
+                work, [specs[index] for index in pending])
             runtime.record_simulations(len(pending))
             for index, pair in zip(pending, simulated):
                 results[index] = pair
@@ -307,7 +368,8 @@ def collect_pairs(specs: Sequence[PairSpec],
                     spec = specs[index]
                     cache.put(_pair_key(cache, spec.app_name, spec.kind,
                                         spec.operator, spec.duration_s,
-                                        spec.seed, spec.day), pair)
+                                        spec.seed, spec.day,
+                                        fault_plan=plan), pair)
         return results
 
 

@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..lte.dci import Direction
 from ..sniffer.trace import Trace
 
@@ -73,17 +74,33 @@ class WindowConfig:
         stride_ms: hop between windows; ``None`` = non-overlapping.
         direction: restrict to one link direction (Table III's Down /
             UP columns; Table IV is downlink-only) or ``None`` for both.
+        min_frames: completeness threshold — windows holding fewer
+            records are invalidated (dropped).  The default of 1 keeps
+            every non-empty window, bit-identical to the pre-faults
+            behaviour.
+        gap_threshold_s: when set, an inter-record silence longer than
+            this is treated as a *capture gap* (the sniffer lost the
+            channel, not the app going quiet) and every window
+            overlapping it is invalidated.  ``None`` disables gap
+            detection.
     """
 
     window_ms: float = 100.0
     stride_ms: Optional[float] = None
     direction: Optional[Direction] = None
+    min_frames: int = 1
+    gap_threshold_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.window_ms <= 0:
             raise ValueError(f"window_ms must be positive: {self.window_ms}")
         if self.stride_ms is not None and self.stride_ms <= 0:
             raise ValueError(f"stride_ms must be positive: {self.stride_ms}")
+        if self.min_frames < 1:
+            raise ValueError(f"min_frames must be >= 1: {self.min_frames}")
+        if self.gap_threshold_s is not None and self.gap_threshold_s <= 0:
+            raise ValueError(
+                f"gap_threshold_s must be positive: {self.gap_threshold_s}")
 
     @property
     def effective_stride_ms(self) -> float:
@@ -144,10 +161,30 @@ def extract_features(trace: Trace,
     lo = np.searchsorted(times, win_start, side="left")
     hi = np.searchsorted(times, win_end, side="left")
     nonempty = hi > lo
-    if not nonempty.any():
+    # Completeness gating (capture-loss degradation, see WindowConfig):
+    # windows that are too sparse or that straddle a capture gap are
+    # invalidated rather than fed to the classifier as if complete.  At
+    # the defaults (min_frames=1, gap_threshold_s=None) ``valid`` equals
+    # ``nonempty`` and the output is bit-identical to the gate's absence.
+    valid = nonempty
+    if config.min_frames > 1:
+        valid = valid & (hi - lo >= config.min_frames)
+    if config.gap_threshold_s is not None:
+        gap_index = np.flatnonzero(np.diff(times) > config.gap_threshold_s)
+        if len(gap_index):
+            gap_starts = times[gap_index]
+            gap_ends = times[gap_index + 1]
+            overlapping = (
+                np.searchsorted(gap_starts, win_end, side="left")
+                - np.searchsorted(gap_ends, win_start, side="right"))
+            valid = valid & (overlapping <= 0)
+    invalidated = int(np.count_nonzero(nonempty & ~valid))
+    if invalidated:
+        obs.counter("features.windows_invalidated").inc(invalidated)
+    if not valid.any():
         return np.empty((0, N_FEATURES), dtype=np.float64)
-    win_start, win_end = win_start[nonempty], win_end[nonempty]
-    lo, hi = lo[nonempty], hi[nonempty]
+    win_start, win_end = win_start[valid], win_end[valid]
+    lo, hi = lo[valid], hi[valid]
     m = len(lo)
     counts = hi - lo
 
@@ -256,7 +293,8 @@ def extract_features(trace: Trace,
 
 def volume_series(trace: Trace, bin_s: float = 1.0,
                   direction: Optional[Direction] = None,
-                  value: str = "frames") -> np.ndarray:
+                  value: str = "frames",
+                  gap_threshold_s: Optional[float] = None) -> np.ndarray:
     """Per-bin traffic volume series — the correlation attack's input.
 
     The paper generates "graphs with respect to the number of frames"
@@ -264,11 +302,20 @@ def volume_series(trace: Trace, bin_s: float = 1.0,
     counts or byte counts per bin.  Bins span the trace's whole
     duration, *including* empty bins, because silence carries the
     conversational rhythm DTW matches on.
+
+    With ``gap_threshold_s`` set, bins overlapping an inter-record
+    silence longer than the threshold become ``NaN`` instead of 0: the
+    sniffer was blind there, and a DTW consumer must not mistake lost
+    capture for conversational silence.  ``None`` (the default) keeps
+    the historical all-zeros behaviour.
     """
     if bin_s <= 0:
         raise ValueError(f"bin_s must be positive: {bin_s}")
     if value not in ("frames", "bytes"):
         raise ValueError(f"value must be 'frames' or 'bytes': {value!r}")
+    if gap_threshold_s is not None and gap_threshold_s <= 0:
+        raise ValueError(
+            f"gap_threshold_s must be positive: {gap_threshold_s}")
     if direction is not None:
         trace = trace.direction_filtered(direction)
     if not len(trace):
@@ -282,5 +329,17 @@ def volume_series(trace: Trace, bin_s: float = 1.0,
         weights = None
     else:
         weights = trace.tbs_bytes.astype(np.float64)
-    return np.bincount(indices, weights=weights,
-                       minlength=n_bins).astype(np.float64)
+    series = np.bincount(indices, weights=weights,
+                         minlength=n_bins).astype(np.float64)
+    if gap_threshold_s is not None:
+        gap_index = np.flatnonzero(np.diff(times) > gap_threshold_s)
+        if len(gap_index):
+            edges = start + bin_s * np.arange(n_bins + 1)
+            blind = (np.searchsorted(times[gap_index], edges[1:],
+                                     side="left")
+                     - np.searchsorted(times[gap_index + 1], edges[:-1],
+                                       side="right")) > 0
+            series[blind] = np.nan
+            obs.counter("features.bins_invalidated").inc(
+                int(np.count_nonzero(blind)))
+    return series

@@ -1,0 +1,170 @@
+"""Fault plans: the declarative, seeded description of a noise campaign.
+
+The paper's real-world numbers (Table IV, Figs. 8–9) come from captures
+that are *imperfect* — the sniffer misses DCIs, C-RNTIs churn mid
+session, cells drop out — while the simulator emits clean streams.  A
+:class:`FaultPlan` closes that gap declaratively: an ordered list of
+named fault transforms (:mod:`repro.faults.transforms`) plus one seed.
+Applying the same plan to the same trace always yields bit-identical
+output, on any ParallelMap backend, because every random draw comes
+from a generator derived with :meth:`FaultPlan.rng_for` — a pure
+function of ``(plan seed, fault index, item seed)`` hashed through
+SHA-256, never from process state.
+
+Plans serialise to a small JSON document (``{"seed": 7, "faults":
+[{"name": ..., "params": {...}}]}``) so a degradation study is one
+reusable file passed to ``lte-fingerprint ... --faults PLAN.json``, and
+:meth:`FaultPlan.fingerprint` digests that canonical form into the
+trace-cache key and the obs run manifest — a faulted dataset can never
+be confused with a clean one, on disk or in provenance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named fault with its parameters.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so
+    specs are hashable, order-insensitive, and canonical for
+    fingerprinting; build instances with :meth:`make`.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, **params: float) -> "FaultSpec":
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    def kwargs(self) -> dict:
+        return dict(self.params)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered list of fault specs plus the seed that drives them."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def build(cls, *specs: FaultSpec, seed: int = 0) -> "FaultPlan":
+        return cls(faults=tuple(specs), seed=seed)
+
+    @property
+    def is_noop(self) -> bool:
+        """A plan with no faults is equivalent to no plan at all."""
+        return not self.faults
+
+    # -- determinism ----------------------------------------------------------------
+
+    def rng_for(self, index: int, item_seed: int = 0) -> np.random.Generator:
+        """The seeded generator for fault ``index`` applied to one item.
+
+        Derivation hashes the plan seed, the fault's position and name,
+        and the per-item seed through SHA-256, so it is identical across
+        processes and Python hash randomisation — the property that
+        makes serial and process ParallelMap backends bit-identical.
+        """
+        spec = self.faults[index]
+        material = f"{self.seed}:{index}:{spec.name}:{int(item_seed)}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+    # -- canonical form -------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed,
+                "faults": [spec.as_dict() for spec in self.faults]}
+
+    def canonical(self) -> str:
+        """The canonical JSON encoding fingerprints are computed over."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Content digest of the plan (cache-key / manifest component)."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    # -- (de)serialisation ----------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultPlan":
+        """Parse (and validate) a plan from its JSON document form."""
+        if not isinstance(document, dict):
+            raise ValueError(
+                f"fault plan must be a JSON object: {type(document).__name__}")
+        unknown = sorted(set(document) - {"seed", "faults"})
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {unknown}")
+        seed = document.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValueError(f"fault-plan seed must be an integer: {seed!r}")
+        raw_faults = document.get("faults", [])
+        if not isinstance(raw_faults, list):
+            raise ValueError("fault-plan 'faults' must be a list")
+        specs = []
+        for position, entry in enumerate(raw_faults):
+            if not isinstance(entry, dict) or "name" not in entry:
+                raise ValueError(
+                    f"fault #{position} must be an object with a 'name'")
+            extra = sorted(set(entry) - {"name", "params"})
+            if extra:
+                raise ValueError(
+                    f"fault #{position} has unknown keys: {extra}")
+            params = entry.get("params", {})
+            if not isinstance(params, dict):
+                raise ValueError(f"fault #{position} 'params' must be an "
+                                 f"object")
+            specs.append(FaultSpec.make(str(entry["name"]), **params))
+        plan = cls(faults=tuple(specs), seed=seed)
+        plan.validate()
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(document)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultPlan":
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"cannot read fault plan {path}: {exc}") from None
+        return cls.from_json(text)
+
+    def to_file(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2,
+                                         sort_keys=True) + "\n",
+                              encoding="utf-8")
+
+    def validate(self) -> "FaultPlan":
+        """Check every spec names a registered fault with known params.
+
+        Raises ``ValueError`` eagerly (at plan-parse time, not deep in a
+        worker process) so a typo in a plan file fails with a message
+        naming the offending fault.
+        """
+        from .transforms import validate_spec
+
+        for position, spec in enumerate(self.faults):
+            validate_spec(spec, position)
+        return self

@@ -34,10 +34,14 @@ from .parallel import WORKERS_ENV, ParallelMap, in_worker, workers_from_env
 
 __all__ = [
     "CacheStats", "ParallelMap", "RuntimeStats", "TraceCache",
-    "code_fingerprint", "configure", "mapper", "overrides",
+    "code_fingerprint", "configure", "fault_plan", "mapper", "overrides",
     "record_simulations", "reset_stats", "stats", "trace_cache",
     "CACHE_ENV", "CACHE_DIR_ENV", "CACHE_MB_ENV", "WORKERS_ENV",
 ]
+
+#: Sentinel distinguishing "leave the fault plan alone" (the default)
+#: from an explicit ``fault_plan=None`` meaning "clear it".
+_KEEP = object()
 
 
 @dataclass(frozen=True)
@@ -48,6 +52,9 @@ class _Config:
     cache_enabled: Optional[bool] = None
     cache_dir: Optional[Path] = None
     cache_max_bytes: Optional[int] = None
+    # The process-wide FaultPlan (repro.faults) applied to every
+    # simulated capture; stored untyped to keep runtime import-light.
+    fault_plan: Optional[object] = None
 
 
 _config = _Config()
@@ -59,8 +66,14 @@ _simulations = 0
 def configure(workers: Optional[int] = None,
               cache_enabled: Optional[bool] = None,
               cache_dir: Optional[Union[str, Path]] = None,
-              cache_max_bytes: Optional[int] = None) -> None:
-    """Set process-wide runtime knobs (``None`` leaves a knob alone)."""
+              cache_max_bytes: Optional[int] = None,
+              fault_plan: object = _KEEP) -> None:
+    """Set process-wide runtime knobs (``None`` leaves a knob alone).
+
+    ``fault_plan`` uses a sentinel default instead: passing ``None``
+    *clears* the plan (fault-free runs), omitting it leaves the current
+    plan in place.
+    """
     global _config
     updates = {}
     if workers is not None:
@@ -71,6 +84,8 @@ def configure(workers: Optional[int] = None,
         updates["cache_dir"] = Path(cache_dir)
     if cache_max_bytes is not None:
         updates["cache_max_bytes"] = int(cache_max_bytes)
+    if fault_plan is not _KEEP:
+        updates["fault_plan"] = fault_plan
     _config = replace(_config, **updates)
 
 
@@ -78,13 +93,15 @@ def configure(workers: Optional[int] = None,
 def overrides(workers: Optional[int] = None,
               cache_enabled: Optional[bool] = None,
               cache_dir: Optional[Union[str, Path]] = None,
-              cache_max_bytes: Optional[int] = None):
+              cache_max_bytes: Optional[int] = None,
+              fault_plan: object = _KEEP):
     """Scope runtime knobs to a ``with`` block, then restore them."""
     global _config
     saved = _config
     try:
         configure(workers=workers, cache_enabled=cache_enabled,
-                  cache_dir=cache_dir, cache_max_bytes=cache_max_bytes)
+                  cache_dir=cache_dir, cache_max_bytes=cache_max_bytes,
+                  fault_plan=fault_plan)
         yield
     finally:
         _config = saved
@@ -102,6 +119,19 @@ def resolve_workers(explicit: Optional[int] = None) -> int:
 def mapper(workers: Optional[int] = None) -> ParallelMap:
     """The executor the hot paths fan out through."""
     return ParallelMap(workers=resolve_workers(workers))
+
+
+def fault_plan() -> Optional[object]:
+    """The process-wide FaultPlan, or ``None`` for fault-free runs.
+
+    Noop plans (no faults) normalise to ``None`` so a fault-free plan is
+    indistinguishable from no plan everywhere downstream — cache keys,
+    manifests, and the faulted-trace bytes themselves.
+    """
+    plan = _config.fault_plan
+    if plan is not None and getattr(plan, "is_noop", False):
+        return None
+    return plan
 
 
 def trace_cache() -> Optional[TraceCache]:

@@ -53,15 +53,28 @@ class IdentityMapper:
         self._pending_requests: Dict[int, RRCConnectionRequest] = {}
         self._live: Dict[int, Binding] = {}           # rnti -> live binding
         self._history: List[Binding] = []
+        self._known_tmsis: set = set()
         self._learned = obs.attr_counter("sniffer.mapper.mappings_learned")
         self._closed_obs = obs.counter("sniffer.mapper.bindings_closed")
         self._superseded_obs = obs.counter(
             "sniffer.mapper.bindings_superseded")
+        self._rebindings = obs.attr_counter("sniffer.mapper.rebindings")
 
     @property
     def mappings_learned(self) -> int:
         """How many Msg3/Msg4 (or out-of-band) bindings were learned."""
         return self._learned.value
+
+    @property
+    def rebindings(self) -> int:
+        """Bindings learned for a TMSI that was already known.
+
+        Under RNTI churn (reconnects, fault-injected reassignment) the
+        victim's TMSI re-appears with fresh C-RNTIs; this counts those
+        re-learn events — the mapper's explicit churn-tolerance signal,
+        surfaced per-run through obs as ``sniffer.mapper.rebindings``.
+        """
+        return self._rebindings.value
 
     def on_control(self, message: ControlMessage) -> None:
         """Feed one control-plane message from the cell."""
@@ -101,6 +114,10 @@ class IdentityMapper:
                           cell=self._cell)
         self._live[rnti] = binding
         self._learned.inc()
+        if tmsi in self._known_tmsis:
+            self._rebindings.inc()
+        else:
+            self._known_tmsis.add(tmsi)
 
     def _close(self, rnti: int, time_s: float) -> None:
         live = self._live.pop(rnti, None)

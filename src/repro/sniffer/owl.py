@@ -66,9 +66,11 @@ class OWLTracker:
         # Candidate sweeps are amortised: at most one dictionary scan
         # per confirm window, so the hot on_dci path stays O(1).
         self._last_sweep_s = float("-inf")
+        self._ever_confirmed: Set[int] = set()
         self._confirmed_obs = obs.counter("sniffer.tracker.confirmed")
         self._retired_obs = obs.counter("sniffer.tracker.retired")
         self._pruned_obs = obs.counter("sniffer.tracker.candidates_pruned")
+        self._reconfirmed = obs.attr_counter("sniffer.tracker.reconfirmed")
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -117,6 +119,14 @@ class OWLTracker:
         self._active[rnti] = RNTIActivity(rnti=rnti, confirmed_s=now,
                                           last_seen_s=now)
         self._confirmed_obs.inc()
+        # An RNTI confirmed, retired, then confirmed again is churn the
+        # tracker absorbed (reassignment faults, RRC release/reconnect);
+        # counted explicitly so degraded captures are distinguishable
+        # from clean ones in the run manifest.
+        if rnti in self._ever_confirmed:
+            self._reconfirmed.inc()
+        else:
+            self._ever_confirmed.add(rnti)
 
     def _retire(self, rnti: int, now: float) -> None:
         activity = self._active.pop(rnti, None)
@@ -165,3 +175,8 @@ class OWLTracker:
     @property
     def candidate_count(self) -> int:
         return len(self._candidates)
+
+    @property
+    def reconfirmations(self) -> int:
+        """Confirm events for RNTIs already confirmed once before."""
+        return self._reconfirmed.value

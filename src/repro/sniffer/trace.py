@@ -121,6 +121,44 @@ class TraceBuilder:
                                  self.tbs_bytes, validate=False, **metadata)
 
 
+#: Expected dtype of every NPZ column (also the columnar storage dtypes).
+_NPZ_DTYPES = {"times_s": TIME_DTYPE, "rntis": RNTI_DTYPE,
+               "directions": DIR_DTYPE, "tbs_bytes": TBS_DTYPE,
+               "offsets": np.int64}
+
+_NPZ_COLUMNS = ("times_s", "rntis", "directions", "tbs_bytes")
+
+
+def _checked_npz_columns(data, path: Path, extra: Sequence[str] = ()) -> Dict:
+    """Validate an NPZ archive's columns before trusting their lengths.
+
+    A truncated download or a partially written archive must fail here
+    with a message naming the file and the defect, not as an index error
+    (or silent short read) deep inside feature extraction.  Checks:
+    every required array is present, each has the canonical dtype, each
+    is one-dimensional, and the four record columns are equally long.
+    """
+    required = list(_NPZ_COLUMNS) + list(extra) + ["meta"]
+    missing = [name for name in required if name not in data]
+    if missing:
+        raise ValueError(f"{path}: NPZ archive is missing arrays {missing} "
+                         f"(truncated or foreign file?)")
+    columns = {name: data[name] for name in required if name != "meta"}
+    for name, column in columns.items():
+        expected = np.dtype(_NPZ_DTYPES[name])
+        if column.dtype != expected:
+            raise ValueError(f"{path}: column '{name}' has dtype "
+                             f"{column.dtype}, expected {expected}")
+        if column.ndim != 1:
+            raise ValueError(f"{path}: column '{name}' must be "
+                             f"one-dimensional, got shape {column.shape}")
+    lengths = {name: len(columns[name]) for name in _NPZ_COLUMNS}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"{path}: record columns have mismatched lengths "
+                         f"{lengths} (truncated archive?)")
+    return columns
+
+
 class Trace:
     """A time-ordered sequence of records for one user plus metadata.
 
@@ -427,11 +465,18 @@ class Trace:
 
     @classmethod
     def from_npz(cls, path: Path) -> "Trace":
-        """Read a trace previously written by :meth:`to_npz`."""
-        with np.load(Path(path)) as data:
-            trace = cls.from_arrays(data["times_s"], data["rntis"],
-                                    data["directions"], data["tbs_bytes"],
-                                    validate=False)
+        """Read a trace previously written by :meth:`to_npz`.
+
+        Raises ``ValueError`` (naming the file and the defect) when the
+        archive is missing columns, carries wrong dtypes, or its columns
+        disagree on length — the signatures of truncation.
+        """
+        path = Path(path)
+        with np.load(path) as data:
+            columns = _checked_npz_columns(data, path)
+            trace = cls.from_arrays(columns["times_s"], columns["rntis"],
+                                    columns["directions"],
+                                    columns["tbs_bytes"], validate=False)
             trace.apply_metadata(json.loads(str(data["meta"])))
         return trace
 
@@ -529,13 +574,37 @@ class TraceSet:
 
     @classmethod
     def from_npz(cls, path: Path) -> "TraceSet":
-        """Load a set previously written by :meth:`to_npz`."""
+        """Load a set previously written by :meth:`to_npz`.
+
+        Validates the archive before slicing: columns present with the
+        canonical dtypes and equal lengths, and the offsets array
+        consistent with both the metadata list and the record count.  A
+        truncated or torn archive raises ``ValueError`` naming the file
+        instead of silently yielding short traces.
+        """
+        path = Path(path)
         traces: List[Trace] = []
-        with np.load(Path(path)) as data:
-            offsets = data["offsets"]
-            times, rntis = data["times_s"], data["rntis"]
-            dirs, tbs = data["directions"], data["tbs_bytes"]
+        with np.load(path) as data:
+            columns = _checked_npz_columns(data, path, extra=["offsets"])
+            offsets = columns["offsets"]
+            times, rntis = columns["times_s"], columns["rntis"]
+            dirs, tbs = columns["directions"], columns["tbs_bytes"]
             metas = json.loads(str(data["meta"]))
+            if len(offsets) != len(metas) + 1:
+                raise ValueError(
+                    f"{path}: offsets length {len(offsets)} does not match "
+                    f"{len(metas)} metadata entries (expected "
+                    f"{len(metas) + 1})")
+            if len(offsets) and int(offsets[0]) != 0:
+                raise ValueError(f"{path}: offsets must start at 0, got "
+                                 f"{int(offsets[0])}")
+            if np.any(np.diff(offsets) < 0):
+                raise ValueError(f"{path}: offsets must be non-decreasing")
+            if len(offsets) and int(offsets[-1]) != len(times):
+                raise ValueError(
+                    f"{path}: offsets end at {int(offsets[-1])} but the "
+                    f"archive holds {len(times)} records "
+                    f"(truncated archive?)")
             for index, metadata in enumerate(metas):
                 lo, hi = int(offsets[index]), int(offsets[index + 1])
                 trace = Trace.from_arrays(times[lo:hi], rntis[lo:hi],

@@ -87,6 +87,62 @@ def test_det003_negative_sorted_set():
     assert rules_fired(src) == []
 
 
+# -- DET004: fault-layer RNG provenance -------------------------------------------
+
+#: Inside repro.faults, where DET004 scopes.
+_FAULTS = Path("repro/faults/fixture.py")
+
+
+def test_det004_positive_constant_seed():
+    src = ("import numpy as np\n"
+           "def make_trace(n=10):\n"
+           "    rng = np.random.default_rng(42)\n"
+           "    return rng.uniform(0.0, 1.0, n)\n")
+    assert rules_fired(src, _FAULTS) == ["DET004"]
+
+
+def test_det004_positive_untraceable_sampler():
+    src = ("_rng = None\n"
+           "def corrupt(trace):\n"
+           "    return _rng.uniform(0.0, 1.0)\n")
+    assert rules_fired(src, _FAULTS) == ["DET004"]
+
+
+def test_det004_negative_seed_parameter():
+    src = ("import numpy as np\n"
+           "def make_trace(seed, n=10):\n"
+           "    rng = np.random.default_rng(seed)\n"
+           "    return rng.uniform(0.0, 1.0, n)\n")
+    assert rules_fired(src, _FAULTS) == []
+
+
+def test_det004_negative_rng_parameter():
+    src = ("def capture_loss(trace, rng, *, rate=0.1):\n"
+           "    keep = rng.random(8) >= rate\n"
+           "    return keep\n")
+    assert rules_fired(src, _FAULTS) == []
+
+
+def test_det004_negative_derived_seed_material():
+    # plan.rng_for hashes its parameters into a digest first; a seed
+    # expression referencing *any* local name is treated as derived.
+    src = ("import hashlib\n"
+           "import numpy as np\n"
+           "def rng_for(seed, index):\n"
+           "    digest = hashlib.sha256(f'{seed}:{index}'.encode()).digest()\n"
+           "    return np.random.default_rng(\n"
+           "        int.from_bytes(digest[:8], 'big'))\n")
+    assert rules_fired(src, _FAULTS) == []
+
+
+def test_det004_negative_outside_faults_package():
+    src = ("import numpy as np\n"
+           "def make_trace(n=10):\n"
+           "    rng = np.random.default_rng(42)\n"
+           "    return rng.uniform(0.0, 1.0, n)\n")
+    assert rules_fired(src, GENERIC) == []
+
+
 # -- NUM001: unvalidated scatter --------------------------------------------------
 
 
@@ -307,7 +363,7 @@ def test_ruleset_covers_all_four_families():
 
 
 @pytest.mark.parametrize("rule_id", [
-    "DET001", "DET002", "DET003", "NUM001", "NUM002", "NUM003",
+    "DET001", "DET002", "DET003", "DET004", "NUM001", "NUM002", "NUM003",
     "PAR001", "PAR002", "PAR003", "OBS001", "OBS002",
 ])
 def test_every_shipped_rule_is_registered(rule_id):

@@ -1,0 +1,76 @@
+"""The ``--faults PLAN.json`` flag end to end through the CLI."""
+
+import json
+
+import pytest
+
+from repro import runtime
+from repro.cli import main
+from repro.faults import FaultPlan, FaultSpec
+
+PLAN = FaultPlan.build(
+    FaultSpec.make("burst_loss", rate=0.3, burst_s=0.5),
+    seed=7)
+
+
+@pytest.fixture()
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    PLAN.to_file(path)
+    return path
+
+
+def collect(out, *extra):
+    args = ["collect", "--out", str(out), "--apps", "YouTube",
+            "--traces", "1", "--duration", "8", "--seed", "3",
+            "--no-cache"] + list(extra)
+    with runtime.overrides():
+        return main(args)
+
+
+class TestCollectWithFaults:
+    def test_collect_succeeds_and_degrades(self, tmp_path, plan_file):
+        clean_dir = tmp_path / "clean"
+        faulted_dir = tmp_path / "faulted"
+        assert collect(clean_dir) == 0
+        assert collect(faulted_dir, "--faults", str(plan_file)) == 0
+        clean = (clean_dir / "trace_000000.csv").read_text()
+        faulted = (faulted_dir / "trace_000000.csv").read_text()
+        assert clean != faulted
+        assert len(faulted.splitlines()) < len(clean.splitlines())
+
+    def test_manifest_records_plan_and_fingerprint(self, tmp_path,
+                                                   plan_file):
+        manifest_path = tmp_path / "runs.jsonl"
+        assert collect(tmp_path / "out", "--faults", str(plan_file),
+                       "--obs-out", str(manifest_path)) == 0
+        line = json.loads(manifest_path.read_text().splitlines()[-1])
+        params = line["params"]
+        assert params["faults"] == PLAN.as_dict()
+        assert params["faults_fingerprint"] == PLAN.fingerprint()
+
+    def test_manifest_omits_faults_when_clean(self, tmp_path):
+        manifest_path = tmp_path / "runs.jsonl"
+        assert collect(tmp_path / "out",
+                       "--obs-out", str(manifest_path)) == 0
+        line = json.loads(manifest_path.read_text().splitlines()[-1])
+        assert "faults" not in line["params"]
+        assert "faults_fingerprint" not in line["params"]
+
+
+class TestBadPlans:
+    def test_unparseable_plan_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert collect(tmp_path / "out", "--faults", str(bad)) == 2
+
+    def test_unknown_fault_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"seed": 1, "faults": [{"name": "bit_flip", "params": {}}]}))
+        assert collect(tmp_path / "out", "--faults", str(bad)) == 2
+        assert "bit_flip" in capsys.readouterr().err
+
+    def test_missing_plan_file_exits_2(self, tmp_path):
+        assert collect(tmp_path / "out", "--faults",
+                       str(tmp_path / "absent.json")) == 2

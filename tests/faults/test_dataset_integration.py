@@ -1,0 +1,147 @@
+"""Fault plans through the collection pipeline: determinism + caching.
+
+The acceptance criteria for the fault subsystem live here: a plan with
+identical (params, seed) must yield bit-identical traces on the serial
+and process ParallelMap backends, must key the trace cache differently
+from an unfaulted run, and a fault-free plan must be indistinguishable
+from no plan at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.core.dataset import (_trace_key, collect_pair, collect_trace,
+                                collect_traces)
+from repro.faults import FaultPlan, FaultSpec
+from repro.operators import LAB
+
+PLAN = FaultPlan.build(
+    FaultSpec.make("burst_loss", rate=0.25, burst_s=0.5),
+    FaultSpec.make("rnti_churn", interval_s=3.0),
+    FaultSpec.make("corrupt_decode", rate=0.05),
+    seed=7)
+
+APPS = ["YouTube", "Netflix"]
+
+
+def _columns(trace):
+    return (trace.times_s, trace.rntis, trace.directions, trace.tbs_bytes)
+
+
+def assert_sets_identical(a, b):
+    assert len(a) == len(b)
+    for ta, tb in zip(a, b):
+        assert ta.metadata() == tb.metadata()
+        for ca, cb in zip(_columns(ta), _columns(tb)):
+            assert ca.dtype == cb.dtype
+            assert np.array_equal(ca, cb)
+
+
+class TestBackendBitIdentity:
+    def test_serial_and_process_backends_match(self):
+        with runtime.overrides(cache_enabled=False):
+            serial = collect_traces(APPS, operator=LAB, traces_per_app=2,
+                                    duration_s=8.0, seed=4, workers=1,
+                                    fault_plan=PLAN)
+            fanned = collect_traces(APPS, operator=LAB, traces_per_app=2,
+                                    duration_s=8.0, seed=4, workers=3,
+                                    fault_plan=PLAN)
+        assert_sets_identical(serial, fanned)
+
+    def test_plan_actually_degrades_the_stream(self):
+        with runtime.overrides(cache_enabled=False):
+            clean = collect_traces(APPS, operator=LAB, traces_per_app=2,
+                                   duration_s=8.0, seed=4, workers=1)
+            faulted = collect_traces(APPS, operator=LAB, traces_per_app=2,
+                                     duration_s=8.0, seed=4, workers=1,
+                                     fault_plan=PLAN)
+        assert sum(len(t) for t in faulted) < sum(len(t) for t in clean)
+
+    def test_pair_faulting_deterministic(self):
+        with runtime.overrides(cache_enabled=False):
+            first = collect_pair("WhatsApp Call", "call", operator=LAB,
+                                 duration_s=8.0, seed=5, fault_plan=PLAN)
+            second = collect_pair("WhatsApp Call", "call", operator=LAB,
+                                  duration_s=8.0, seed=5, fault_plan=PLAN)
+            clean = collect_pair("WhatsApp Call", "call", operator=LAB,
+                                 duration_s=8.0, seed=5)
+        assert_sets_identical(first, second)
+        # The two legs get distinct per-leg item seeds.
+        total_faulted = len(first[0]) + len(first[1])
+        total_clean = len(clean[0]) + len(clean[1])
+        assert total_faulted != total_clean
+
+
+class TestCacheSemantics:
+    def test_faulted_key_differs_from_clean(self, tmp_path):
+        with runtime.overrides(cache_enabled=True, cache_dir=tmp_path):
+            cache = runtime.trace_cache()
+            clean = _trace_key(cache, "YouTube", LAB, 8.0, 4, 0, 0, 1.0)
+            faulted = _trace_key(cache, "YouTube", LAB, 8.0, 4, 0, 0, 1.0,
+                                 fault_plan=PLAN)
+            reseeded = _trace_key(
+                cache, "YouTube", LAB, 8.0, 4, 0, 0, 1.0,
+                fault_plan=FaultPlan(faults=PLAN.faults, seed=8))
+        assert clean != faulted
+        assert faulted != reseeded
+
+    def test_warm_cache_rerun_simulates_nothing(self, tmp_path):
+        with runtime.overrides(cache_enabled=True, cache_dir=tmp_path):
+            first = collect_traces(APPS, operator=LAB, traces_per_app=2,
+                                   duration_s=8.0, seed=4, workers=1,
+                                   fault_plan=PLAN)
+            runtime.reset_stats()
+            second = collect_traces(APPS, operator=LAB, traces_per_app=2,
+                                    duration_s=8.0, seed=4, workers=1,
+                                    fault_plan=PLAN)
+            assert runtime.stats().simulations == 0
+        assert_sets_identical(first, second)
+
+    def test_faulted_and_clean_runs_populate_disjoint_entries(self,
+                                                              tmp_path):
+        with runtime.overrides(cache_enabled=True, cache_dir=tmp_path):
+            clean = collect_trace("YouTube", operator=LAB, duration_s=8.0,
+                                  seed=4)
+            faulted = collect_trace("YouTube", operator=LAB,
+                                    duration_s=8.0, seed=4,
+                                    fault_plan=PLAN)
+            runtime.reset_stats()
+            # Both entries are warm now; neither rerun simulates.
+            collect_trace("YouTube", operator=LAB, duration_s=8.0, seed=4)
+            collect_trace("YouTube", operator=LAB, duration_s=8.0, seed=4,
+                          fault_plan=PLAN)
+            assert runtime.stats().simulations == 0
+        assert not np.array_equal(clean.times_s, faulted.times_s)
+
+
+class TestNoopEquivalence:
+    def test_noop_plan_equals_no_plan_bytes(self):
+        noop = FaultPlan.build(seed=99)
+        with runtime.overrides(cache_enabled=False):
+            base = collect_trace("YouTube", operator=LAB, duration_s=8.0,
+                                 seed=4)
+            planned = collect_trace("YouTube", operator=LAB,
+                                    duration_s=8.0, seed=4,
+                                    fault_plan=noop)
+        for ca, cb in zip(_columns(base), _columns(planned)):
+            assert np.array_equal(ca, cb)
+
+    def test_noop_plan_shares_the_clean_cache_entry(self, tmp_path):
+        with runtime.overrides(cache_enabled=True, cache_dir=tmp_path):
+            collect_trace("YouTube", operator=LAB, duration_s=8.0, seed=4)
+            runtime.reset_stats()
+            collect_trace("YouTube", operator=LAB, duration_s=8.0, seed=4,
+                          fault_plan=FaultPlan.build(seed=99))
+            assert runtime.stats().simulations == 0
+
+    def test_runtime_configured_plan_matches_explicit_argument(self):
+        with runtime.overrides(cache_enabled=False, fault_plan=PLAN):
+            ambient = collect_trace("Netflix", operator=LAB,
+                                    duration_s=8.0, seed=6)
+        with runtime.overrides(cache_enabled=False):
+            explicit = collect_trace("Netflix", operator=LAB,
+                                     duration_s=8.0, seed=6,
+                                     fault_plan=PLAN)
+        for ca, cb in zip(_columns(ambient), _columns(explicit)):
+            assert np.array_equal(ca, cb)

@@ -1,0 +1,142 @@
+"""Truncated / corrupted NPZ archives must fail loudly at load time."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.generators import synthetic_trace, synthetic_trace_set
+from repro.sniffer.trace import Trace, TraceSet
+
+
+def _rewrite(src, dst, mutate):
+    """Copy an NPZ archive through ``mutate(dict)`` and re-save it."""
+    with np.load(src) as data:
+        arrays = {name: data[name] for name in data.files}
+    mutate(arrays)
+    np.savez(dst, **arrays)
+
+
+@pytest.fixture()
+def trace_npz(tmp_path):
+    path = tmp_path / "trace.npz"
+    synthetic_trace(3, label="app").to_npz(path)
+    return path
+
+
+@pytest.fixture()
+def set_npz(tmp_path):
+    path = tmp_path / "set.npz"
+    synthetic_trace_set(3, n_traces=3).to_npz(path)
+    return path
+
+
+class TestTraceFromNpz:
+    def test_roundtrip_is_clean(self, trace_npz):
+        trace = Trace.from_npz(trace_npz)
+        assert trace.label == "app"
+        assert len(trace) > 0
+
+    def test_truncated_column_rejected(self, trace_npz, tmp_path):
+        bad = tmp_path / "bad.npz"
+        _rewrite(trace_npz, bad,
+                 lambda arrays: arrays.update(
+                     times_s=arrays["times_s"][:-3]))
+        with pytest.raises(ValueError, match="mismatched lengths"):
+            Trace.from_npz(bad)
+
+    def test_missing_column_rejected(self, trace_npz, tmp_path):
+        bad = tmp_path / "bad.npz"
+        _rewrite(trace_npz, bad, lambda arrays: arrays.pop("rntis"))
+        with pytest.raises(ValueError, match="missing arrays"):
+            Trace.from_npz(bad)
+
+    def test_wrong_dtype_rejected(self, trace_npz, tmp_path):
+        bad = tmp_path / "bad.npz"
+        _rewrite(trace_npz, bad,
+                 lambda arrays: arrays.update(
+                     rntis=arrays["rntis"].astype(np.int64)))
+        with pytest.raises(ValueError, match="dtype"):
+            Trace.from_npz(bad)
+
+    def test_non_1d_column_rejected(self, trace_npz, tmp_path):
+        bad = tmp_path / "bad.npz"
+        _rewrite(trace_npz, bad,
+                 lambda arrays: arrays.update(
+                     tbs_bytes=arrays["tbs_bytes"].reshape(-1, 1)))
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Trace.from_npz(bad)
+
+
+class TestTraceSetFromNpz:
+    def test_roundtrip_is_clean(self, set_npz):
+        loaded = TraceSet.from_npz(set_npz)
+        assert len(loaded) == 3
+
+    def test_empty_set_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        TraceSet([]).to_npz(path)
+        assert len(TraceSet.from_npz(path)) == 0
+
+    def test_missing_offsets_rejected(self, set_npz, tmp_path):
+        bad = tmp_path / "bad.npz"
+        _rewrite(set_npz, bad, lambda arrays: arrays.pop("offsets"))
+        with pytest.raises(ValueError, match="missing arrays"):
+            TraceSet.from_npz(bad)
+
+    def test_offsets_meta_disagreement_rejected(self, set_npz, tmp_path):
+        bad = tmp_path / "bad.npz"
+        _rewrite(set_npz, bad,
+                 lambda arrays: arrays.update(
+                     offsets=arrays["offsets"][:-1]))
+        with pytest.raises(ValueError, match="metadata entries"):
+            TraceSet.from_npz(bad)
+
+    def test_truncated_records_rejected(self, set_npz, tmp_path):
+        # Shorten every record column consistently: the per-column
+        # length check passes, only the offsets cross-check can catch it.
+        def chop(arrays):
+            for name in ("times_s", "rntis", "directions", "tbs_bytes"):
+                arrays[name] = arrays[name][:-2]
+
+        bad = tmp_path / "bad.npz"
+        _rewrite(set_npz, bad, chop)
+        with pytest.raises(ValueError, match="truncated archive"):
+            TraceSet.from_npz(bad)
+
+    def test_decreasing_offsets_rejected(self, set_npz, tmp_path):
+        def scramble(arrays):
+            offsets = arrays["offsets"].copy()
+            offsets[1], offsets[2] = offsets[2], offsets[1] + 10 ** 6
+            arrays["offsets"] = offsets
+
+        bad = tmp_path / "bad.npz"
+        _rewrite(set_npz, bad, scramble)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceSet.from_npz(bad)
+
+    def test_nonzero_first_offset_rejected(self, set_npz, tmp_path):
+        def shift(arrays):
+            arrays["offsets"] = arrays["offsets"] + 1
+
+        bad = tmp_path / "bad.npz"
+        _rewrite(set_npz, bad, shift)
+        with pytest.raises(ValueError, match="start at 0"):
+            TraceSet.from_npz(bad)
+
+    def test_wrong_offsets_dtype_rejected(self, set_npz, tmp_path):
+        bad = tmp_path / "bad.npz"
+        def narrow(arrays):
+            # The narrowing cast is the corruption under test.
+            cast = arrays["offsets"].astype(np.int32)  # repro: noqa[NUM003]
+            arrays["offsets"] = cast
+
+        _rewrite(set_npz, bad, narrow)
+        with pytest.raises(ValueError, match="dtype"):
+            TraceSet.from_npz(bad)
+
+    def test_error_names_the_file(self, set_npz, tmp_path):
+        bad = tmp_path / "named.npz"
+        _rewrite(set_npz, bad, lambda arrays: arrays.pop("meta"))
+        with pytest.raises(ValueError, match="named.npz"):
+            TraceSet.from_npz(bad)

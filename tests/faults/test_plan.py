@@ -1,0 +1,127 @@
+"""Unit tests for FaultPlan / FaultSpec and the transform registry."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (FaultPlan, FaultSpec, apply_plan, fault_names,
+                          fault_param_names, get_fault, validate_spec)
+from repro.faults.generators import synthetic_trace
+
+
+class TestFaultSpec:
+    def test_make_sorts_params(self):
+        spec = FaultSpec.make("burst_loss", rate=0.2, burst_s=0.5)
+        assert spec.params == (("burst_s", 0.5), ("rate", 0.2))
+        assert spec.kwargs() == {"rate": 0.2, "burst_s": 0.5}
+
+    def test_param_order_is_canonical(self):
+        a = FaultSpec.make("burst_loss", rate=0.2, burst_s=0.5)
+        b = FaultSpec.make("burst_loss", burst_s=0.5, rate=0.2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_as_dict(self):
+        spec = FaultSpec.make("capture_loss", rate=0.1)
+        assert spec.as_dict() == {"name": "capture_loss",
+                                  "params": {"rate": 0.1}}
+
+
+class TestRegistry:
+    def test_all_faults_registered(self):
+        assert fault_names() == ["burst_loss", "capture_loss",
+                                 "cell_outage", "clock_skew",
+                                 "corrupt_decode", "duplicate_decode",
+                                 "rnti_churn"]
+
+    def test_get_fault_unknown(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            get_fault("bit_flip")
+
+    def test_param_names(self):
+        assert set(fault_param_names("burst_loss")) == {"rate", "burst_s"}
+        assert set(fault_param_names("rnti_churn")) == {"interval_s"}
+
+    def test_validate_spec_unknown_fault(self):
+        with pytest.raises(ValueError, match="bit_flip"):
+            validate_spec(FaultSpec.make("bit_flip", rate=0.1), 0)
+
+    def test_validate_spec_unknown_param(self):
+        with pytest.raises(ValueError, match="typo_rate"):
+            validate_spec(FaultSpec.make("capture_loss", typo_rate=0.1), 0)
+
+
+class TestFaultPlan:
+    def test_build_and_noop(self):
+        assert FaultPlan.build(seed=5).is_noop
+        plan = FaultPlan.build(FaultSpec.make("capture_loss", rate=0.1),
+                               seed=5)
+        assert not plan.is_noop
+
+    def test_fingerprint_is_hex_digest(self):
+        fingerprint = FaultPlan.build(seed=1).fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)
+
+    def test_file_roundtrip(self, tmp_path):
+        plan = FaultPlan.build(
+            FaultSpec.make("burst_loss", rate=0.3, burst_s=0.4),
+            FaultSpec.make("rnti_churn", interval_s=2.0),
+            seed=21)
+        path = tmp_path / "plan.json"
+        plan.to_file(path)
+        clone = FaultPlan.from_file(path)
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_from_file_missing(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            FaultPlan.from_file(tmp_path / "absent.json")
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    @pytest.mark.parametrize("document, match", [
+        ({"seed": "x"}, "seed must be an integer"),
+        ({"seed": 1, "faults": {}}, "must be a list"),
+        ({"seed": 1, "extra": 2}, "unknown fault-plan keys"),
+        ({"faults": [{"params": {}}]}, "object with a 'name'"),
+        ({"faults": [{"name": "capture_loss", "speed": 1}]},
+         "unknown keys"),
+        ({"faults": [{"name": "capture_loss",
+                      "params": {"typo": 0.1}}]}, "typo"),
+        ({"faults": [{"name": "made_up", "params": {}}]}, "made_up"),
+    ])
+    def test_from_dict_rejects_malformed(self, document, match):
+        with pytest.raises(ValueError, match=match):
+            FaultPlan.from_dict(document)
+
+    def test_rng_for_is_pure(self):
+        plan = FaultPlan.build(
+            FaultSpec.make("capture_loss", rate=0.1),
+            FaultSpec.make("corrupt_decode", rate=0.1), seed=9)
+        a = plan.rng_for(0, item_seed=4).random(8)
+        b = plan.rng_for(0, item_seed=4).random(8)
+        assert np.array_equal(a, b)
+        # Distinct fault index or item seed means a distinct stream.
+        assert not np.array_equal(a, plan.rng_for(1, item_seed=4).random(8))
+        assert not np.array_equal(a, plan.rng_for(0, item_seed=5).random(8))
+
+
+class TestApplyPlan:
+    def test_out_of_range_rate_rejected_at_apply(self):
+        trace = synthetic_trace(0)
+        plan = FaultPlan.build(FaultSpec.make("capture_loss", rate=1.5),
+                               seed=1)
+        with pytest.raises(ValueError, match="rate"):
+            apply_plan(trace, plan, item_seed=0)
+
+    def test_faults_compose_in_order(self):
+        trace = synthetic_trace(0)
+        outage_then_loss = FaultPlan.build(
+            FaultSpec.make("cell_outage", start_s=2.0, duration_s=5.0),
+            FaultSpec.make("capture_loss", rate=0.3), seed=3)
+        faulted = apply_plan(trace, outage_then_loss, item_seed=1)
+        inside = ((faulted.times_s >= 2.0) & (faulted.times_s < 7.0))
+        assert not inside.any()
+        assert len(faulted) < len(trace)

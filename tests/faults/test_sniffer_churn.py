@@ -1,0 +1,103 @@
+"""RNTI-churn tolerance: explicit re-binding / re-confirmation counters.
+
+Under the ``rnti_churn`` fault a victim's C-RNTI is reassigned mid
+capture.  The sniffer layers must absorb that without losing the
+victim: the IdentityMapper re-binds the TMSI to the new RNTI and counts
+the re-binding, and the OWLTracker re-confirms the recycled RNTI and
+counts the re-confirmation — so a degraded capture is distinguishable
+from a clean one in the obs manifest.
+"""
+
+from repro.lte.rrc import (RandomAccessResponse, RRCConnectionRelease,
+                           RRCConnectionRequest, RRCConnectionSetup)
+from repro.sniffer.identity import IdentityMapper
+from repro.sniffer.owl import OWLTracker
+
+TMSI = 0xCAFE1234
+
+
+def handshake(mapper, rnti, time_us):
+    mapper.on_control(RRCConnectionRequest(time_us=time_us,
+                                           temp_crnti=rnti, s_tmsi=TMSI))
+    mapper.on_control(RRCConnectionSetup(time_us=time_us + 5_000,
+                                         crnti=rnti,
+                                         contention_resolution_id=TMSI))
+
+
+class TestMapperRebindings:
+    def test_first_binding_is_not_a_rebinding(self):
+        mapper = IdentityMapper(cell="c0")
+        handshake(mapper, rnti=0x100, time_us=1_000_000)
+        assert mapper.mappings_learned == 1
+        assert mapper.rebindings == 0
+
+    def test_churned_rnti_counts_one_rebinding(self):
+        mapper = IdentityMapper(cell="c0")
+        handshake(mapper, rnti=0x100, time_us=1_000_000)
+        mapper.on_control(RRCConnectionRelease(time_us=2_000_000,
+                                               crnti=0x100))
+        handshake(mapper, rnti=0x200, time_us=3_000_000)
+        assert mapper.current_rnti(TMSI) == 0x200
+        assert mapper.mappings_learned == 2
+        assert mapper.rebindings == 1
+
+    def test_churn_without_release_still_rebinds(self):
+        # Lost-capture churn: the release never reached the sniffer.
+        mapper = IdentityMapper(cell="c0")
+        handshake(mapper, rnti=0x100, time_us=1_000_000)
+        handshake(mapper, rnti=0x200, time_us=3_000_000)
+        assert mapper.current_rnti(TMSI) == 0x200
+        assert mapper.rebindings == 1
+
+    def test_distinct_tmsis_never_count(self):
+        mapper = IdentityMapper(cell="c0")
+        handshake(mapper, rnti=0x100, time_us=1_000_000)
+        mapper.on_control(RRCConnectionRequest(time_us=2_000_000,
+                                               temp_crnti=0x200,
+                                               s_tmsi=TMSI + 1))
+        mapper.on_control(RRCConnectionSetup(time_us=2_005_000,
+                                             crnti=0x200,
+                                             contention_resolution_id=TMSI
+                                             + 1))
+        assert mapper.rebindings == 0
+
+
+class TestTrackerReconfirmations:
+    def _confirm_by_traffic(self, tracker, rnti, start_s):
+        for hit in range(3):
+            tracker.on_dci(start_s + 0.1 * hit, rnti)
+
+    def test_first_confirmation_is_not_a_reconfirmation(self):
+        tracker = OWLTracker(confirm_threshold=3)
+        self._confirm_by_traffic(tracker, 0x100, 1.0)
+        assert tracker.is_active(0x100)
+        assert tracker.reconfirmations == 0
+
+    def test_release_then_reconfirm_counts(self):
+        tracker = OWLTracker(confirm_threshold=3)
+        self._confirm_by_traffic(tracker, 0x100, 1.0)
+        tracker.on_control(RRCConnectionRelease(time_us=2_000_000,
+                                                crnti=0x100))
+        assert not tracker.is_active(0x100)
+        self._confirm_by_traffic(tracker, 0x100, 3.0)
+        assert tracker.is_active(0x100)
+        assert tracker.reconfirmations == 1
+
+    def test_rar_reconfirm_after_expiry_counts(self):
+        tracker = OWLTracker(confirm_threshold=3, expiry_s=2.0)
+        self._confirm_by_traffic(tracker, 0x100, 1.0)
+        # Silence beyond expiry_s retires the RNTI...
+        tracker.on_dci(10.0, 0x999)
+        assert not tracker.is_active(0x100)
+        # ...then the eNB hands the same value to a (new) connection.
+        tracker.on_control(RandomAccessResponse(time_us=11_000_000,
+                                                ra_rnti=3,
+                                                temp_crnti=0x100))
+        assert tracker.is_active(0x100)
+        assert tracker.reconfirmations == 1
+
+    def test_distinct_rntis_never_count(self):
+        tracker = OWLTracker(confirm_threshold=3)
+        self._confirm_by_traffic(tracker, 0x100, 1.0)
+        self._confirm_by_traffic(tracker, 0x200, 1.5)
+        assert tracker.reconfirmations == 0

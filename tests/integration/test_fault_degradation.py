@@ -1,0 +1,57 @@
+"""Table-4-style pipeline under an escalating burst-loss plan.
+
+Trains the hierarchical fingerprinter on clean captures and evaluates
+on progressively faultier test sets (the robustness experiment).  The
+macro F-score must decline as loss grows — the attack genuinely
+degrades — while staying above the random-guess floor of ``1/n_apps``:
+graceful degradation, not collapse.
+"""
+
+import pytest
+
+from repro import runtime
+from repro.experiments.common import Scale
+from repro.experiments.robustness import run
+
+TINY = Scale(name="tiny", traces_per_app=2, trace_duration_s=10.0,
+             n_trees=8, pairs_per_app=1, history_visit_s=10.0,
+             drift_test_days=2)
+
+APPS = ["YouTube", "Netflix", "WhatsApp"]
+RATES = (0.0, 0.3, 0.7)
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("fault-degradation-cache")
+    with runtime.overrides(cache_dir=cache_dir):
+        return run(scale=TINY, seed=29, fault="burst_loss", rates=RATES,
+                   apps=APPS)
+
+
+class TestDegradation:
+    def test_sweep_shape(self, result):
+        assert result.rates == list(RATES)
+        assert len(result.f_scores) == len(RATES)
+        assert result.n_apps == len(APPS)
+        assert all(count > 0 for count in result.test_windows)
+
+    def test_clean_run_classifies_well(self, result):
+        assert result.f_scores[0] > 0.8
+
+    def test_f_score_declines_with_loss(self, result):
+        clean, worst = result.f_scores[0], result.f_scores[-1]
+        assert worst < clean
+        # Near-monotone: each step may wobble slightly but never
+        # recovers materially as loss keeps growing.
+        for before, after in zip(result.f_scores, result.f_scores[1:]):
+            assert after <= before + 0.05
+
+    def test_stays_above_random_guess_floor(self, result):
+        assert result.floor == pytest.approx(1.0 / len(APPS))
+        assert min(result.f_scores) > result.floor
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "burst_loss" in table
+        assert "floor" in table

@@ -1,0 +1,41 @@
+"""Shared Hypothesis strategies for the fault-injection property suites.
+
+One spec strategy per registered fault, each drawing parameters inside
+that fault's validated domain, so every generated ``FaultPlan`` is
+accepted by ``validate_spec`` and exercises real transform code.
+``derandomize=True`` pins Hypothesis's example stream to the test id,
+so CI failures replay locally without sharing a database.
+"""
+
+from hypothesis import settings, strategies as st
+
+from repro.faults import FaultPlan, FaultSpec
+
+SETTINGS = settings(derandomize=True, max_examples=30, deadline=None)
+
+#: Strategy for one valid FaultSpec (params inside each fault's domain).
+SPECS = st.one_of(
+    st.builds(lambda r: FaultSpec.make("capture_loss", rate=r),
+              st.floats(0.0, 0.9)),
+    st.builds(lambda r, b: FaultSpec.make("burst_loss", rate=r, burst_s=b),
+              st.floats(0.0, 0.8), st.floats(0.05, 2.0)),
+    st.builds(lambda r: FaultSpec.make("corrupt_decode", rate=r),
+              st.floats(0.0, 0.9)),
+    st.builds(lambda i: FaultSpec.make("rnti_churn", interval_s=i),
+              st.floats(0.5, 30.0)),
+    st.builds(lambda s, j: FaultSpec.make("clock_skew", skew=s, jitter_s=j),
+              st.floats(-0.01, 0.01), st.floats(0.0, 0.005)),
+    st.builds(lambda s, d: FaultSpec.make("cell_outage", start_s=s,
+                                          duration_s=d),
+              st.floats(0.0, 15.0), st.floats(0.1, 10.0)),
+    st.builds(lambda r: FaultSpec.make("duplicate_decode", rate=r),
+              st.floats(0.0, 0.9)),
+)
+
+PLANS = st.builds(
+    lambda specs, seed: FaultPlan(faults=tuple(specs), seed=seed),
+    st.lists(SPECS, min_size=0, max_size=4),
+    st.integers(0, 2**31 - 1))
+
+TRACE_SEEDS = st.integers(0, 2**16)
+ITEM_SEEDS = st.integers(0, 2**31 - 1)

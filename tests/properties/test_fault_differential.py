@@ -1,0 +1,141 @@
+"""Differential properties: the feature pipeline on *faulted* traces.
+
+The golden suite (:mod:`tests.core.test_columnar_golden`) proves the
+columnar pipeline bit-matches a record-at-a-time reference on clean
+traces.  These tests close the loop for degraded input: any trace a
+fault plan can produce must still go through ``extract_features`` /
+``volume_series`` bit-identically to the reference implementations,
+and the new completeness gating must change *only* what it documents
+(drop sparse windows, blind gap bins) while the defaults stay
+bit-identical to the historical behaviour.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.features import WindowConfig, extract_features, volume_series
+from repro.faults import FaultPlan, FaultSpec, apply_plan
+from repro.lte.dci import Direction
+
+from tests.core.test_columnar_golden import (CONFIGS, RNG_SEEDS,
+                                             random_trace,
+                                             ref_extract_features,
+                                             ref_volume_series)
+from tests.properties.strategies import ITEM_SEEDS, PLANS, SETTINGS
+
+_GOLDEN_SEEDS = st.integers(0, 40)
+
+
+def _faulted(trace_seed, plan, item_seed):
+    return apply_plan(random_trace(trace_seed), plan, item_seed=item_seed)
+
+
+@SETTINGS
+@given(plan=PLANS, trace_seed=_GOLDEN_SEEDS, item_seed=ITEM_SEEDS)
+def test_faulted_features_match_reference(plan, trace_seed, item_seed):
+    faulted = _faulted(trace_seed, plan, item_seed)
+    got = extract_features(faulted)
+    want = ref_extract_features(faulted)
+    assert got.dtype == want.dtype
+    assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("seed", RNG_SEEDS)
+def test_faulted_features_match_reference_across_configs(seed, config):
+    plan = FaultPlan.build(
+        FaultSpec.make("burst_loss", rate=0.3, burst_s=0.4),
+        FaultSpec.make("corrupt_decode", rate=0.1),
+        FaultSpec.make("clock_skew", skew=0.002, jitter_s=0.001),
+        seed=17)
+    faulted = apply_plan(random_trace(seed, n=300), plan, item_seed=seed)
+    got = extract_features(faulted, config)
+    want = ref_extract_features(faulted, config)
+    assert np.array_equal(got, want)
+
+
+@SETTINGS
+@given(plan=PLANS, trace_seed=_GOLDEN_SEEDS, item_seed=ITEM_SEEDS,
+       value=st.sampled_from(["frames", "bytes"]),
+       direction=st.sampled_from([None, Direction.DOWNLINK,
+                                  Direction.UPLINK]))
+def test_faulted_volume_series_matches_reference(plan, trace_seed, item_seed,
+                                                 value, direction):
+    faulted = _faulted(trace_seed, plan, item_seed)
+    got = volume_series(faulted, direction=direction, value=value)
+    want = ref_volume_series(faulted, direction=direction, value=value)
+    assert got.dtype == want.dtype
+    assert np.array_equal(got, want)
+
+
+@SETTINGS
+@given(plan=PLANS, trace_seed=_GOLDEN_SEEDS, item_seed=ITEM_SEEDS)
+def test_gating_defaults_are_bit_identical(plan, trace_seed, item_seed):
+    # min_frames=1 never fires and a gap threshold beyond the trace
+    # span never fires, so the gated path must reproduce the default
+    # output exactly — gating is opt-in, not a silent behaviour change.
+    faulted = _faulted(trace_seed, plan, item_seed)
+    base = extract_features(faulted)
+    inert = WindowConfig(min_frames=1, gap_threshold_s=1e9)
+    assert np.array_equal(extract_features(faulted, inert), base)
+    assert np.array_equal(
+        volume_series(faulted, gap_threshold_s=1e9),
+        volume_series(faulted))
+
+
+@SETTINGS
+@given(plan=PLANS, trace_seed=_GOLDEN_SEEDS, item_seed=ITEM_SEEDS,
+       min_frames=st.integers(2, 6))
+def test_min_frames_drops_only_sparse_windows(plan, trace_seed, item_seed,
+                                              min_frames):
+    faulted = _faulted(trace_seed, plan, item_seed)
+    base = extract_features(faulted)
+    gated = extract_features(faulted, WindowConfig(min_frames=min_frames))
+    assert len(gated) <= len(base)
+    if len(gated):
+        # frame_count is feature column 0.
+        assert gated[:, 0].min() >= min_frames
+    # Every surviving frame_count also appears in the ungated output.
+    assert set(gated[:, 0]) <= set(base[:, 0])
+
+
+@SETTINGS
+@given(plan=PLANS, trace_seed=_GOLDEN_SEEDS, item_seed=ITEM_SEEDS)
+def test_gap_threshold_above_max_gap_changes_nothing(plan, trace_seed,
+                                                     item_seed):
+    faulted = _faulted(trace_seed, plan, item_seed)
+    times = faulted.times_s
+    if len(times) < 2:
+        return
+    threshold = float(np.diff(times).max()) + 1.0
+    base = extract_features(faulted)
+    gated = extract_features(faulted,
+                             WindowConfig(gap_threshold_s=threshold))
+    assert np.array_equal(gated, base)
+
+
+@SETTINGS
+@given(plan=PLANS, trace_seed=_GOLDEN_SEEDS, item_seed=ITEM_SEEDS,
+       threshold=st.floats(0.1, 5.0))
+def test_volume_series_nan_bins_exactly_over_gaps(plan, trace_seed,
+                                                  item_seed, threshold):
+    faulted = _faulted(trace_seed, plan, item_seed)
+    base = volume_series(faulted)
+    gated = volume_series(faulted, gap_threshold_s=threshold)
+    assert len(gated) == len(base)
+    if not len(base):
+        return
+    times = faulted.times_s
+    gaps = [(times[i], times[i + 1]) for i in range(len(times) - 1)
+            if times[i + 1] - times[i] > threshold]
+    start = times[0]
+    for index, value in enumerate(gated):
+        bin_start = start + index * 1.0
+        bin_end = bin_start + 1.0
+        blind = any(gap_start < bin_end and gap_end > bin_start
+                    for gap_start, gap_end in gaps)
+        if blind:
+            assert np.isnan(value)
+        else:
+            assert value == base[index]

@@ -1,0 +1,172 @@
+"""Property-based invariants of the fault-injection layer.
+
+Hypothesis generates random fault plans and random (but seed-determined)
+traces; every example must satisfy the transforms' contract:
+
+* applying the same plan with the same seeds is bit-identical;
+* timestamps never decrease and never go negative;
+* TBS values never go negative;
+* the four columns stay equally long and metadata survives;
+* a fault-free plan is *exactly* no plan.
+
+``derandomize=True`` pins Hypothesis's example stream to the test id,
+so CI failures replay locally without sharing a database.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.faults import FaultPlan, FaultSpec, apply_plan, fault_names
+from repro.faults.generators import bursty_trace, synthetic_trace
+
+from tests.properties.strategies import (ITEM_SEEDS as _ITEM_SEEDS,
+                                         PLANS as _PLANS, SETTINGS,
+                                         TRACE_SEEDS as _TRACE_SEEDS)
+
+
+def _columns(trace):
+    return (trace.times_s, trace.rntis, trace.directions, trace.tbs_bytes)
+
+
+@SETTINGS
+@given(plan=_PLANS, trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS)
+def test_apply_plan_is_deterministic(plan, trace_seed, item_seed):
+    trace = synthetic_trace(trace_seed)
+    first = apply_plan(trace, plan, item_seed=item_seed)
+    second = apply_plan(trace, plan, item_seed=item_seed)
+    for a, b in zip(_columns(first), _columns(second)):
+        assert a.dtype == b.dtype
+        assert np.array_equal(a, b)
+
+
+@SETTINGS
+@given(plan=_PLANS, trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS)
+def test_times_stay_sorted_and_non_negative(plan, trace_seed, item_seed):
+    faulted = apply_plan(synthetic_trace(trace_seed), plan,
+                         item_seed=item_seed)
+    times = faulted.times_s
+    if len(times):
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0.0
+
+
+@SETTINGS
+@given(plan=_PLANS, trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS)
+def test_tbs_never_negative(plan, trace_seed, item_seed):
+    faulted = apply_plan(synthetic_trace(trace_seed), plan,
+                         item_seed=item_seed)
+    if len(faulted):
+        assert faulted.tbs_bytes.min() >= 0
+
+
+@SETTINGS
+@given(plan=_PLANS, trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS)
+def test_columns_stay_parallel(plan, trace_seed, item_seed):
+    faulted = apply_plan(synthetic_trace(trace_seed), plan,
+                         item_seed=item_seed)
+    lengths = {len(col) for col in _columns(faulted)}
+    assert len(lengths) == 1
+
+
+@SETTINGS
+@given(plan=_PLANS, trace_seed=_TRACE_SEEDS)
+def test_metadata_survives_faulting(plan, trace_seed):
+    trace = synthetic_trace(trace_seed, label="the-app", category="the-cat")
+    faulted = apply_plan(trace, plan, item_seed=5)
+    assert faulted.metadata() == trace.metadata()
+
+
+@SETTINGS
+@given(trace_seed=_TRACE_SEEDS, seed=st.integers(0, 2**31 - 1))
+def test_noop_plan_is_exactly_no_plan(trace_seed, seed):
+    trace = synthetic_trace(trace_seed)
+    assert apply_plan(trace, None) is trace
+    assert apply_plan(trace, FaultPlan.build(seed=seed)) is trace
+
+
+@SETTINGS
+@given(trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS,
+       name=st.sampled_from(["capture_loss", "corrupt_decode",
+                             "duplicate_decode", "burst_loss"]))
+def test_zero_rate_faults_change_nothing(trace_seed, item_seed, name):
+    trace = synthetic_trace(trace_seed)
+    plan = FaultPlan.build(FaultSpec.make(name, rate=0.0), seed=11)
+    faulted = apply_plan(trace, plan, item_seed=item_seed)
+    for a, b in zip(_columns(trace), _columns(faulted)):
+        assert np.array_equal(a, b)
+
+
+@SETTINGS
+@given(plan=_PLANS)
+def test_plan_json_roundtrip_preserves_fingerprint(plan):
+    clone = FaultPlan.from_json(plan.canonical())
+    assert clone == plan
+    assert clone.fingerprint() == plan.fingerprint()
+
+
+@SETTINGS
+@given(plan=_PLANS, other_seed=st.integers(0, 2**31 - 1))
+def test_fingerprint_tracks_plan_content(plan, other_seed):
+    if other_seed == plan.seed:
+        other_seed += 1
+    reseeded = FaultPlan(faults=plan.faults, seed=other_seed)
+    assert reseeded.fingerprint() != plan.fingerprint()
+    grown = FaultPlan(
+        faults=plan.faults + (FaultSpec.make("capture_loss", rate=0.5),),
+        seed=plan.seed)
+    assert grown.fingerprint() != plan.fingerprint()
+
+
+@SETTINGS
+@given(trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS,
+       rate=st.floats(0.0, 0.95))
+def test_loss_faults_never_grow_the_trace(trace_seed, item_seed, rate):
+    trace = bursty_trace(trace_seed)
+    for name in ("capture_loss", "burst_loss"):
+        plan = FaultPlan.build(FaultSpec.make(name, rate=rate), seed=3)
+        assert len(apply_plan(trace, plan, item_seed=item_seed)) <= len(trace)
+
+
+@SETTINGS
+@given(trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS,
+       rate=st.floats(0.0, 0.95))
+def test_duplicate_decode_never_shrinks_the_trace(trace_seed, item_seed,
+                                                  rate):
+    trace = synthetic_trace(trace_seed)
+    plan = FaultPlan.build(FaultSpec.make("duplicate_decode", rate=rate),
+                           seed=3)
+    assert len(apply_plan(trace, plan, item_seed=item_seed)) >= len(trace)
+
+
+@SETTINGS
+@given(trace_seed=_TRACE_SEEDS, start=st.floats(0.0, 15.0),
+       duration=st.floats(0.1, 10.0))
+def test_cell_outage_removes_exactly_the_window(trace_seed, start, duration):
+    trace = synthetic_trace(trace_seed)
+    plan = FaultPlan.build(
+        FaultSpec.make("cell_outage", start_s=start, duration_s=duration),
+        seed=3)
+    faulted = apply_plan(trace, plan, item_seed=1)
+    inside = ((trace.times_s >= start)
+              & (trace.times_s < start + duration))
+    assert np.array_equal(faulted.times_s, trace.times_s[~inside])
+
+
+@SETTINGS
+@given(trace_seed=_TRACE_SEEDS, item_seed=_ITEM_SEEDS,
+       interval=st.floats(0.5, 30.0))
+def test_rnti_churn_touches_only_the_rnti_column(trace_seed, item_seed,
+                                                 interval):
+    trace = synthetic_trace(trace_seed)
+    plan = FaultPlan.build(
+        FaultSpec.make("rnti_churn", interval_s=interval), seed=3)
+    faulted = apply_plan(trace, plan, item_seed=item_seed)
+    assert np.array_equal(faulted.times_s, trace.times_s)
+    assert np.array_equal(faulted.directions, trace.directions)
+    assert np.array_equal(faulted.tbs_bytes, trace.tbs_bytes)
+
+
+def test_every_registered_fault_is_exercised_above():
+    assert sorted(fault_names()) == [
+        "burst_loss", "capture_loss", "cell_outage", "clock_skew",
+        "corrupt_decode", "duplicate_decode", "rnti_churn"]
