@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-faults bench bench-features bench-smoke \
-	bench-lint clean-cache lint report
+	bench-lint bench-sim clean-cache lint report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -45,6 +45,12 @@ lint:
 ## Full-repo lint wall time (target < 2 s); writes BENCH_lint.json.
 bench-lint:
 	$(PYTHON) benchmarks/bench_lint.py
+
+## Simulator engine benchmark: legacy vs vectorized TTI loop plus the
+## sharded city scaling sweep; writes BENCH_simulator.json and fails
+## if the speedup drops below its floor (cf. `lte-fingerprint bench sim`).
+bench-sim:
+	$(PYTHON) benchmarks/bench_simulator.py
 
 ## Drop every entry from the on-disk trace cache.
 clean-cache:

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Benchmark guard: vectorized TTI loop vs legacy, plus shard scaling.
+
+Measures the simulator hot loop on a saturated single cell — every UE
+holding a large downlink backlog, so each TTI runs the full scheduler +
+grant + capture path — once with the legacy per-UE object engine and
+once with the batched array engine.  Records wall times, the speedup,
+and a sharded city scaling sweep into ``BENCH_simulator.json`` at the
+repo root, then enforces two guards:
+
+* the vector engine must be at least ``MIN_SPEEDUP``× faster than the
+  legacy loop on the same workload;
+* the measured speedup must not regress by more than 2× against the
+  committed ``BENCH_simulator.json`` (loaded before overwriting).
+
+Run via ``make bench-sim``, ``python -m repro.cli bench sim``, or
+``python benchmarks/bench_simulator.py``.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+OUT = REPO_ROOT / "BENCH_simulator.json"
+
+MIN_SPEEDUP = 10.0
+REGRESSION_FACTOR = 2.0
+ROUNDS = 3
+
+N_UES = 2048
+TOTAL_PRB = 100
+WARM_S = 0.5           # all UEs finish RRC setup before timing starts
+TIMED_S = 0.5          # 500 TTIs
+
+sys.path.insert(0, str(SRC))
+
+
+def _build_network(engine):
+    from repro.lte.channel import ChannelProfile
+    from repro.lte.dci import Direction
+    from repro.lte.network import LTENetwork
+
+    net = LTENetwork(seed=7)
+    net.add_cell("bench", scheduler_name="proportional-fair",
+                 total_prb=TOTAL_PRB, engine=engine,
+                 channel_profile=ChannelProfile(mean_cqi=12, cqi_span=2,
+                                                cqi_step_prob=0.05))
+    for index in range(N_UES):
+        ue = net.add_ue(name=f"ue{index}")
+        net.deliver_traffic(ue, Direction.DOWNLINK, 50_000_000)
+        net.deliver_traffic(ue, Direction.UPLINK, 50_000_000)
+    return net
+
+
+def _time_engine(engine):
+    best = float("inf")
+    grants = 0
+    for _ in range(ROUNDS):
+        net = _build_network(engine)
+        net.run_for(WARM_S)            # connection setup + loop warm-up
+        started = time.perf_counter()
+        net.run_for(TIMED_S)
+        best = min(best, time.perf_counter() - started)
+        grants = net.cells["bench"].enb.grants_issued
+    return best, grants
+
+
+def _shard_scaling():
+    from repro.lte.city import CityScenario, run_city
+    from repro.runtime.parallel import ParallelMap
+
+    scenario = CityScenario(n_cells=8, ues_per_cell=12, epochs=1,
+                            epoch_s=1.0, seed=3,
+                            mean_request_bytes=800_000,
+                            request_rate_hz=4.0)
+    sweep = []
+    for shards, workers in ((1, 1), (2, 2), (4, 4)):
+        mapper = ParallelMap(workers=workers,
+                             backend="process" if workers > 1 else "serial")
+        started = time.perf_counter()
+        result = run_city(scenario, mapper, shards=shards)
+        sweep.append({"shards": shards, "workers": workers,
+                      "wall_s": time.perf_counter() - started,
+                      "records": result.total_records,
+                      "spilled_bytes": result.spilled_bytes})
+    return sweep
+
+
+def main() -> int:
+    previous_speedup = None
+    if OUT.exists():
+        try:
+            previous_speedup = json.loads(
+                OUT.read_text())["results"]["speedup"]
+        except (ValueError, KeyError):
+            previous_speedup = None
+
+    legacy_s, legacy_grants = _time_engine("legacy")
+    vector_s, vector_grants = _time_engine("vector")
+    if legacy_grants != vector_grants:
+        print(f"FAIL: engines diverged ({legacy_grants} vs "
+              f"{vector_grants} grants)", file=sys.stderr)
+        return 1
+    speedup = legacy_s / vector_s
+    sweep = _shard_scaling()
+
+    document = {
+        "description": "Saturated single-cell TTI loop (proportional-fair"
+                       f", {N_UES} UEs, {TOTAL_PRB} PRB, "
+                       f"{int(TIMED_S * 1000)} TTIs timed): legacy per-UE "
+                       "object engine vs batched array engine, best of "
+                       f"{ROUNDS}; plus sharded city scaling sweep.",
+        "workload": {
+            "ues": N_UES,
+            "total_prb": TOTAL_PRB,
+            "timed_ttis": int(TIMED_S * 1000),
+            "rounds": ROUNDS,
+            "grants_per_engine": vector_grants,
+            # Shard scaling tracks available cores: per-(shard, epoch)
+            # tasks are independent, so on k >= shards cores the sweep
+            # approaches max per-shard time; on this host it is bounded
+            # by cpu_count.
+            "cpu_count": os.cpu_count(),
+        },
+        "results": {
+            "legacy_wall_s": legacy_s,
+            "vector_wall_s": vector_s,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+            "shard_sweep": sweep,
+        },
+    }
+    OUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"simulator: legacy {legacy_s:.3f} s, vector {vector_s:.3f} s "
+          f"-> {speedup:.1f}x (target >= {MIN_SPEEDUP:.0f}x) -> {OUT.name}")
+    for entry in sweep:
+        print(f"  city shards={entry['shards']} workers={entry['workers']}: "
+              f"{entry['wall_s']:.3f} s, {entry['records']} records")
+
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.1f}x below the "
+              f"{MIN_SPEEDUP:.0f}x floor", file=sys.stderr)
+        return 1
+    if (previous_speedup is not None
+            and speedup < previous_speedup / REGRESSION_FACTOR):
+        print(f"FAIL: speedup {speedup:.1f}x regressed more than "
+              f"{REGRESSION_FACTOR:.0f}x against the recorded "
+              f"{previous_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

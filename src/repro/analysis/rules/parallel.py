@@ -13,7 +13,25 @@ import ast
 from typing import Iterator, Tuple
 
 from ..engine import (ModuleContext, Rule, call_name, is_mapper_receiver,
-                      register)
+                      names_in, register)
+
+#: Modules whose TTI hot path is vectorised (``repro.lte.engine`` and
+#: friends): per-UE work there belongs in array operations over the
+#: parallel UE columns, not Python loops.  New array-backed modules
+#: register themselves here; the shipped lint baseline stays empty, so
+#: a loop that must stay scalar carries an inline
+#: ``# repro: noqa[PAR004]`` with a justifying comment instead of a
+#: baseline entry.
+VECTORIZED_HOT_PATHS = frozenset({
+    "repro.lte.engine",
+    "repro.lte.vecsched",
+    "repro.lte.tbs",
+})
+
+#: Loop-variable names that signal per-UE / per-grant iteration.
+_PER_UE_NAMES = frozenset({
+    "ue", "ctx", "context", "demand", "grant", "record", "allocation",
+})
 
 
 @register
@@ -125,3 +143,58 @@ class RawPoolRule(Rule):
             yield node, (
                 f"`{name}` bypasses runtime.ParallelMap (ordered "
                 f"results, nesting guard); use runtime.mapper(workers)")
+
+
+@register
+class PerUELoopRule(Rule):
+    """PAR004: no per-UE Python loops in vectorized hot-path modules.
+
+    The batched TTI engine exists because per-UE Python loops made the
+    simulator O(interpreter) per TTI; a loop over UE contexts, demands
+    or grants re-introduces exactly that cost on the hottest path, and
+    nothing but a benchmark would catch it.  Loops are recognised by
+    their loop-variable names (``ue``, ``ctx``, ``demand``, ``grant``,
+    ``allocation``, ...) or by iterating ``<contexts>.values()``.
+
+    Legitimate scalar loops — legacy-parity paths whose draw order is
+    observable, or per-event work outside the steady state — carry an
+    inline ``# repro: noqa[PAR004]`` with a justification; the baseline
+    stays empty.
+    """
+
+    id = "PAR004"
+    family = "parallel"
+    title = "per-UE Python loop in a vectorized hot-path module"
+    node_types = (ast.For,)
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.dotted in VECTORIZED_HOT_PATHS
+
+    def check(self, node: ast.For,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        per_ue = sorted(_PER_UE_NAMES & names_in(node.target))
+        if per_ue:
+            yield node, (
+                f"loop over `{per_ue[0]}` iterates per UE in a "
+                f"vectorized hot-path module — batch it with array "
+                f"operations over the UE columns, or justify the "
+                f"scalar path with `# repro: noqa[PAR004]`")
+            return
+        iterated = node.iter
+        if (isinstance(iterated, ast.Call)
+                and isinstance(iterated.func, ast.Attribute)
+                and iterated.func.attr == "values"
+                and not iterated.args):
+            receiver = iterated.func.value
+            receiver_name = None
+            if isinstance(receiver, ast.Name):
+                receiver_name = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                receiver_name = receiver.attr
+            if receiver_name and "context" in receiver_name.lower():
+                yield node, (
+                    f"loop over `{receiver_name}.values()` walks every "
+                    f"UE context in a vectorized hot-path module — "
+                    f"batch it with array operations over the UE "
+                    f"columns, or justify the scalar path with "
+                    f"`# repro: noqa[PAR004]`")

@@ -8,7 +8,9 @@ harness:
   report held-out window scores;
 * ``classify`` — fingerprint a trace file with a freshly trained model;
 * ``experiment`` — regenerate a paper table/figure by name;
-* ``bench`` — run the component micro-benchmarks once (timings off);
+* ``bench`` — run the component micro-benchmarks once (timings off),
+  or ``bench sim`` for the legacy-vs-vector simulator engine benchmark
+  (writes ``BENCH_simulator.json``, enforces the speedup floor);
 * ``cache`` — inspect or clear the on-disk trace cache;
 * ``report`` — render JSONL run manifests written by ``--obs-out``;
 * ``lint`` — run the repo's static-analysis ruleset (determinism,
@@ -139,6 +141,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="run component micro-benchmarks once (timings off)")
+    bench.add_argument("suite", nargs="?", default="components",
+                       choices=("components", "sim"),
+                       help="'components' (default) runs the pytest "
+                            "micro-benchmarks; 'sim' runs the simulator "
+                            "engine benchmark with its speedup guard")
     bench.add_argument("--select", default=None,
                        help="pytest -k expression to pick benchmarks")
     _add_runtime_args(bench)
@@ -346,7 +353,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     This is the CI smoke path (``make bench-smoke`` calls it): every
     benchmark body executes and asserts its invariants, but no rounds
     are repeated, so runtime-layer regressions surface in seconds.
+
+    ``bench sim`` instead runs the standalone simulator benchmark
+    (``benchmarks/bench_simulator.py``) in a subprocess: it times the
+    legacy vs vector TTI loop, records ``BENCH_simulator.json`` at the
+    repo root, and exits non-zero if the speedup falls below its floor.
     """
+    if getattr(args, "suite", "components") == "sim":
+        import subprocess
+        bench_script = Path(__file__).resolve().parents[2] \
+            / "benchmarks" / "bench_simulator.py"
+        if not bench_script.exists():
+            print(f"benchmark not found at {bench_script}", file=sys.stderr)
+            return 1
+        return subprocess.run([sys.executable, str(bench_script)]).returncode
     try:
         import pytest
     except ImportError:  # pragma: no cover - pytest is a dev dependency

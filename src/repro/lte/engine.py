@@ -1,0 +1,481 @@
+"""Array-backed eNodeB: the vectorised TTI hot loop.
+
+:class:`VectorENodeB` re-implements :meth:`ENodeB._on_tti` over parallel
+numpy arrays keyed by UE slot — backlogs, CQI, RNTIs and activity
+timestamps live in dense int64 columns, and each TTI computes demands,
+scheduler grants and drains for *all* UEs with array operations
+(:mod:`repro.lte.vecsched`).  Everything else — RRC lifecycle, paging,
+handover, inactivity, RNTI refresh — is inherited unchanged from
+:class:`ENodeB` and operates through :class:`VecUEContext`, a
+per-UE facade whose attributes are properties over the engine arrays.
+
+**Bit-exact parity** with the legacy object loop is a hard contract,
+enforced by the golden suite (``tests/integration/test_sim_golden.py``).
+The shared eNB :class:`random.Random` stream makes this subtle: every
+scalar draw of the legacy loop must happen in exactly the same order.
+Per TTI the legacy draw order is
+
+1. ``CrossTraffic.occupied_prb`` (one ``gauss``, only when configured);
+2. per direction (DL first): chaff draws, then one ``random()`` per
+   allocation when ``harq_bler > 0`` (in allocation order);
+3. one ``random()`` per UE for the CQI walk, plus a ``choice`` on step
+   events, in RRC-connection (dict) order.
+
+Steps 1-2 involve at most a handful of draws and stay scalar.  Step 3 is
+per-UE and *cannot* be batched: ``Random.choice`` consumes a variable
+number of Mersenne-Twister words (rejection sampling), so no numpy
+generator can reproduce the stream.  That single scalar walk is the
+engine's floor; all O(n) grant work above it is vectorised.
+
+Grants leave the cell as :class:`GrantBatch` columns so an attached
+sniffer can ingest whole TTIs without materialising per-record
+``PDCCHTransmission`` objects; plain ``pdcch_observers`` still receive
+fully encoded transmissions for compatibility.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .channel import ChannelProfile
+from .dci import DCIFormat, DCIMessage, Direction, PDCCHTransmission
+from .enb import ENodeB
+from .obfuscation import ObfuscationConfig
+from .scheduler import Allocation, CrossTraffic
+from .sim import TTI_US, SimClock
+from .tbs import cqi_to_mcs, mcs_of_cqi_array
+from .ue import UE
+from .vecsched import make_vector_scheduler
+
+#: Environment knob selecting the default simulation engine per process.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+#: CQI random-walk steps — shared tuple so ``choice`` cost stays flat.
+_CQI_STEPS = (-1, 1)
+
+
+@dataclass(frozen=True)
+class GrantBatch:
+    """One TTI's grants for one direction, as parallel columns.
+
+    ``rntis``, ``mcs``, ``n_prb`` and ``tbs_bytes`` are equal-length
+    int64 arrays in emission order — the exact per-record sequence the
+    legacy loop would have aired as individual DCIs.
+    """
+
+    time_us: int
+    direction: Direction
+    rntis: np.ndarray
+    mcs: np.ndarray
+    n_prb: np.ndarray
+    tbs_bytes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.rntis)
+
+
+GrantBatchObserver = Callable[[GrantBatch], None]
+
+
+class VecLink:
+    """`UELink` facade over the engine's CQI column for one slot."""
+
+    __slots__ = ("_engine", "_slot")
+
+    def __init__(self, engine: "VectorENodeB", slot: int) -> None:
+        self._engine = engine
+        self._slot = slot
+
+    @property
+    def cqi(self) -> int:
+        return int(self._engine._arr_cqi[self._slot])
+
+    def current_mcs(self) -> int:
+        return cqi_to_mcs(self.cqi)
+
+    def update(self) -> int:
+        """Advance the CQI walk with the same draws as ``UELink.update``."""
+        engine = self._engine
+        profile = engine._profile
+        if engine._rng.random() < profile.cqi_step_prob:
+            step = engine._rng.choice(_CQI_STEPS)
+            engine._arr_cqi[self._slot] = min(
+                profile.cqi_ceiling,
+                max(profile.cqi_floor, self.cqi + step))
+        return self.cqi
+
+
+class VecUEContext:
+    """`UEContext` facade whose scalar fields live in engine arrays.
+
+    Inherited :class:`ENodeB` code (enqueue, handover, inactivity, RNTI
+    refresh) reads and writes ``dl_backlog``/``ul_backlog``/
+    ``last_activity_us``/``rnti`` as plain attributes; the properties
+    below route every access to the engine's columns so the vector TTI
+    loop and the object API always observe one state.
+    """
+
+    __slots__ = ("_engine", "_slot", "ue", "_rnti", "link", "release_pending")
+
+    def __init__(self, engine: "VectorENodeB", slot: int, ue: UE,
+                 rnti: int) -> None:
+        self._engine = engine
+        self._slot = slot
+        self.ue = ue
+        self._rnti = rnti
+        self.link = VecLink(engine, slot)
+        self.release_pending = False
+
+    @property
+    def rnti(self) -> int:
+        return self._rnti
+
+    @rnti.setter
+    def rnti(self, value: int) -> None:
+        self._rnti = value
+        self._engine._arr_rnti[self._slot] = value
+
+    @property
+    def dl_backlog(self) -> int:
+        return int(self._engine._arr_dl[self._slot])
+
+    @dl_backlog.setter
+    def dl_backlog(self, value: int) -> None:
+        self._engine._arr_dl[self._slot] = value
+
+    @property
+    def ul_backlog(self) -> int:
+        return int(self._engine._arr_ul[self._slot])
+
+    @ul_backlog.setter
+    def ul_backlog(self, value: int) -> None:
+        self._engine._arr_ul[self._slot] = value
+
+    @property
+    def last_activity_us(self) -> int:
+        return int(self._engine._arr_last[self._slot])
+
+    @last_activity_us.setter
+    def last_activity_us(self, value: int) -> None:
+        self._engine._arr_last[self._slot] = value
+
+    def backlog(self, direction: Direction) -> int:
+        return (self.dl_backlog if direction is Direction.DOWNLINK
+                else self.ul_backlog)
+
+    def drain(self, direction: Direction, amount: int) -> None:
+        if direction is Direction.DOWNLINK:
+            self.dl_backlog = max(0, self.dl_backlog - amount)
+        else:
+            self.ul_backlog = max(0, self.ul_backlog - amount)
+
+    @property
+    def total_backlog(self) -> int:
+        return self.dl_backlog + self.ul_backlog
+
+
+class VectorENodeB(ENodeB):
+    """Drop-in :class:`ENodeB` with the batched, array-backed TTI loop."""
+
+    def __init__(
+        self,
+        cell_id: str,
+        clock: SimClock,
+        rng: random.Random,
+        channel_profile: Optional[ChannelProfile] = None,
+        scheduler_name: str = "round-robin",
+        total_prb: int = 50,
+        inactivity_timeout_s: float = 10.0,
+        cross_traffic: Optional[CrossTraffic] = None,
+        obfuscation: Optional[ObfuscationConfig] = None,
+        tti_us: int = TTI_US,
+    ) -> None:
+        super().__init__(cell_id, clock, rng, channel_profile,
+                         scheduler_name, total_prb, inactivity_timeout_s,
+                         cross_traffic, obfuscation, tti_us)
+        self._dl_scheduler = make_vector_scheduler(scheduler_name)
+        self._ul_scheduler = make_vector_scheduler(scheduler_name)
+        capacity = 16
+        self._capacity = capacity
+        self._arr_rnti = np.zeros(capacity, dtype=np.int64)
+        self._arr_dl = np.zeros(capacity, dtype=np.int64)
+        self._arr_ul = np.zeros(capacity, dtype=np.int64)
+        self._arr_cqi = np.zeros(capacity, dtype=np.int64)
+        self._arr_last = np.zeros(capacity, dtype=np.int64)
+        self._free_slots = list(range(capacity - 1, -1, -1))
+        self._order_dirty = True
+        self._ordered_slots = np.empty(0, dtype=np.int64)
+        #: Columnar grant feed: one :class:`GrantBatch` per direction per
+        #: TTI (plus single-record batches for HARQ retransmissions).
+        self.grant_batch_observers: List[GrantBatchObserver] = []
+
+    # -- slot management ------------------------------------------------------
+
+    def _allocate_slot(self) -> int:
+        if not self._free_slots:
+            old = self._capacity
+            new = old * 2
+            for name in ("_arr_rnti", "_arr_dl", "_arr_ul", "_arr_cqi",
+                         "_arr_last"):
+                grown = np.zeros(new, dtype=np.int64)
+                grown[:old] = getattr(self, name)
+                setattr(self, name, grown)
+            self._free_slots.extend(range(new - 1, old - 1, -1))
+            self._capacity = new
+        return self._free_slots.pop()
+
+    def _ordered(self) -> np.ndarray:
+        """Slots of live contexts in RRC-connection (dict) order."""
+        if self._order_dirty:
+            self._ordered_slots = np.fromiter(
+                (context._slot for context in self._contexts.values()),
+                dtype=np.int64, count=len(self._contexts))
+            self._order_dirty = False
+        return self._ordered_slots
+
+    # -- lifecycle overrides (same draws, array-backed state) ------------------
+
+    def _register(self, ue: UE, rnti: int) -> None:
+        # Same single draw as UELink.__init__ on the shared rng.
+        profile = self._profile
+        initial_cqi = self._rng.randint(profile.cqi_floor,
+                                        profile.cqi_ceiling)
+        slot = self._allocate_slot()
+        now = self._clock.now_us
+        self._arr_rnti[slot] = rnti
+        self._arr_dl[slot] = 0
+        self._arr_ul[slot] = 0
+        self._arr_cqi[slot] = initial_cqi
+        self._arr_last[slot] = now
+        context = VecUEContext(self, slot, ue, rnti)
+        self._contexts[rnti] = context
+        self._context_by_ue[ue] = context
+        self._order_dirty = True
+        ue.on_connected(now, self.cell_id, rnti)
+        self._schedule_inactivity_check(context)
+        if self.obfuscation.rnti_refresh_s is not None:
+            self._schedule_rnti_refresh(context)
+
+    def release(self, ue: UE, announce: bool = True) -> None:
+        context = self._context_by_ue.get(ue)
+        super().release(ue, announce)
+        if context is not None and ue not in self._context_by_ue:
+            self._free_slots.append(context._slot)
+            self._order_dirty = True
+
+    def _refresh_rnti(self, context) -> None:
+        super()._refresh_rnti(context)
+        # The refresh moves the context to the end of the dict; the
+        # cached slot order must follow so CQI draws stay in order.
+        self._order_dirty = True
+
+    # -- grant emission --------------------------------------------------------
+
+    def _emit_grant_arrays(self, time_us: int, direction: Direction,
+                           rntis: np.ndarray, mcs: np.ndarray,
+                           n_prb: np.ndarray, tbs: np.ndarray) -> None:
+        if len(rntis) == 0:
+            return
+        if self.grant_batch_observers:
+            batch = GrantBatch(time_us=time_us, direction=direction,
+                               rntis=rntis, mcs=mcs, n_prb=n_prb,
+                               tbs_bytes=tbs)
+            for observer in self.grant_batch_observers:
+                observer(batch)
+        if self.pdcch_observers:
+            # Compatibility: materialise per-record transmissions only
+            # when someone actually listens for them.
+            fmt = (DCIFormat.FORMAT_1A if direction is Direction.DOWNLINK
+                   else DCIFormat.FORMAT_0)
+            for rnti, grant_mcs, grant_prb in zip(
+                    rntis.tolist(), mcs.tolist(), n_prb.tolist()):
+                dci = DCIMessage(fmt=fmt, rnti=rnti, mcs=grant_mcs,
+                                 n_prb=grant_prb)
+                self._emit_pdcch(
+                    PDCCHTransmission(time_us=time_us, encoded=dci.encode()))
+
+    def _vec_maybe_retransmit(self, direction: Direction, rnti: int,
+                              mcs: int, n_prb: int, tbs: int,
+                              attempt: int) -> None:
+        """Array-path twin of ``_maybe_retransmit`` — identical draws."""
+        if attempt >= self._HARQ_MAX_ATTEMPTS:
+            return
+        if self._rng.random() >= self._profile.harq_bler:
+            return
+
+        def retransmit() -> None:
+            if rnti not in self._contexts:
+                return
+            self._emit_grant_arrays(
+                self._clock.now_us, direction,
+                np.array([rnti], dtype=np.int64),
+                np.array([mcs], dtype=np.int64),
+                np.array([n_prb], dtype=np.int64),
+                np.array([tbs], dtype=np.int64))
+            self.harq_retransmissions += 1
+            self.grants_issued += 1
+            self._grants_obs.inc()
+            self._vec_maybe_retransmit(direction, rnti, mcs, n_prb, tbs,
+                                       attempt + 1)
+
+        self._clock.schedule(self._HARQ_RTT_TTIS * self._tti_us, retransmit)
+
+    # -- the vectorised TTI loop ----------------------------------------------
+
+    def _on_tti(self) -> None:
+        now = self._clock.now_us
+        self._ttis_obs.inc()
+        occupied = self._cross_traffic.occupied_prb(self._total_prb,
+                                                    self._rng)
+        available = max(1, self._total_prb - occupied)
+        slots = self._ordered()
+        rntis = self._arr_rnti[slots]
+        mcs = mcs_of_cqi_array()[self._arr_cqi[slots]]
+        harq = self._profile.harq_bler > 0.0
+        # Padding / chaff mutate and extend the allocation list with
+        # scalar rng draws; that path routes through the legacy helpers
+        # on materialised Allocation objects to keep draw order exact.
+        obfuscating = (self.obfuscation.padding_quantum > 0
+                       or self.obfuscation.chaff_probability > 0.0)
+        for direction, scheduler, backlog_col in (
+                (Direction.DOWNLINK, self._dl_scheduler, self._arr_dl),
+                (Direction.UPLINK, self._ul_scheduler, self._arr_ul)):
+            backlog = backlog_col[slots]
+            demand_positions = np.nonzero(backlog > 0)[0]
+            if len(demand_positions):
+                positions, grant_prb, grant_tbs = scheduler.allocate_batch(
+                    rntis[demand_positions], backlog[demand_positions],
+                    mcs[demand_positions], available)
+                grant_positions = demand_positions[positions]
+            else:
+                grant_positions = np.empty(0, dtype=np.int64)
+                grant_prb = grant_tbs = grant_positions
+            if obfuscating:
+                self._obfuscated_tti(direction, now, rntis, mcs,
+                                     grant_positions, grant_prb, grant_tbs,
+                                     slots, backlog_col, available, harq)
+                continue
+            if not len(grant_positions):
+                continue
+            grant_rntis = rntis[grant_positions]
+            grant_mcs = mcs[grant_positions]
+            granted_bytes = int(grant_tbs.sum())
+            self.obfuscation_stats.useful_bytes += granted_bytes
+            grant_slots = slots[grant_positions]
+            backlog_col[grant_slots] = np.maximum(
+                backlog_col[grant_slots] - grant_tbs, 0)
+            self._arr_last[grant_slots] = now
+            count = len(grant_positions)
+            self.grants_issued += count
+            self._grants_obs.inc(count)
+            self.bytes_granted += granted_bytes
+            self._emit_grant_arrays(now, direction, grant_rntis, grant_mcs,
+                                    grant_prb, grant_tbs)
+            if harq:
+                for rnti, grant_mcs_i, grant_prb_i, grant_tbs_i in zip(
+                        grant_rntis.tolist(), grant_mcs.tolist(),
+                        grant_prb.tolist(), grant_tbs.tolist()):
+                    self._vec_maybe_retransmit(direction, rnti, grant_mcs_i,
+                                               grant_prb_i, grant_tbs_i,
+                                               attempt=1)
+        # CQI random walk: the *shared* eNB rng must advance draw-for-draw
+        # in context order (Random.choice rejection-samples a variable
+        # number of words), so this stays a scalar loop per design.
+        profile = self._profile
+        step_prob = profile.cqi_step_prob
+        floor = profile.cqi_floor
+        ceiling = profile.cqi_ceiling
+        draw = self._rng.random
+        pick = self._rng.choice
+        cqis = self._arr_cqi[slots].tolist()
+        stepped_any = False
+        for index, cqi in enumerate(cqis):
+            if draw() < step_prob:
+                stepped = cqi + pick(_CQI_STEPS)
+                if stepped < floor:
+                    stepped = floor
+                elif stepped > ceiling:
+                    stepped = ceiling
+                cqis[index] = stepped
+                stepped_any = True
+        if stepped_any:
+            self._arr_cqi[slots] = cqis
+        any_backlog = bool((self._arr_dl[slots] > 0).any()
+                           or (self._arr_ul[slots] > 0).any())
+        if any_backlog:
+            self._clock.schedule(self._tti_us, self._on_tti)
+        else:
+            self._tti_running = False
+
+    def _obfuscated_tti(self, direction: Direction, now: int,
+                        rntis: np.ndarray, mcs: np.ndarray,
+                        grant_positions: np.ndarray, grant_prb: np.ndarray,
+                        grant_tbs: np.ndarray, slots: np.ndarray,
+                        backlog_col: np.ndarray, available: int,
+                        harq: bool) -> None:
+        """Padding/chaff path: legacy helpers over materialised grants."""
+        allocations = [
+            Allocation(rnti=int(rntis[position]), direction=direction,
+                       mcs=int(mcs[position]), n_prb=int(prb),
+                       tbs_bytes=int(tbs))
+            for position, prb, tbs in zip(grant_positions, grant_prb,
+                                          grant_tbs)]
+        self.obfuscation_stats.useful_bytes += sum(
+            a.tbs_bytes for a in allocations)
+        if self.obfuscation.padding_quantum > 0:
+            allocations = self._pad_allocations(allocations, available)
+        allocations.extend(self._chaff_allocations(direction, available))
+        if not allocations:
+            return
+        out_rntis = np.empty(len(allocations), dtype=np.int64)
+        out_mcs = np.empty(len(allocations), dtype=np.int64)
+        out_prb = np.empty(len(allocations), dtype=np.int64)
+        out_tbs = np.empty(len(allocations), dtype=np.int64)
+        index = 0
+        for allocation in allocations:  # repro: noqa[PAR004] — scalar legacy-parity obfuscation path
+            context = self._contexts[allocation.rnti]
+            context.drain(direction, allocation.tbs_bytes)
+            context.last_activity_us = now
+            self.grants_issued += 1
+            self._grants_obs.inc()
+            self.bytes_granted += allocation.tbs_bytes
+            out_rntis[index] = allocation.rnti
+            out_mcs[index] = allocation.mcs
+            out_prb[index] = allocation.n_prb
+            out_tbs[index] = allocation.tbs_bytes
+            index += 1
+        self._emit_grant_arrays(now, direction, out_rntis, out_mcs,
+                                out_prb, out_tbs)
+        if harq:
+            for allocation in allocations:  # repro: noqa[PAR004] — HARQ draws must follow allocation order
+                self._vec_maybe_retransmit(direction, allocation.rnti,
+                                           allocation.mcs, allocation.n_prb,
+                                           allocation.tbs_bytes, attempt=1)
+
+
+#: Engine registry: the stable names accepted by ``LTENetwork.add_cell``.
+ENGINES = {
+    "legacy": ENodeB,
+    "vector": VectorENodeB,
+}
+
+
+def resolve_engine(name: Optional[str] = None):
+    """Resolve an engine name to its eNodeB class.
+
+    Precedence: explicit ``name`` argument, then the ``REPRO_SIM_ENGINE``
+    environment variable, then the default ``"vector"``.
+    """
+    if name is None:
+        name = os.environ.get(ENGINE_ENV, "").strip().lower() or "vector"
+    try:
+        return ENGINES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise ValueError(f"unknown simulation engine {name!r} "
+                         f"(known: {known})") from None

@@ -24,6 +24,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Tuple
 
+import numpy as np
+
 #: Number of TBS index rows (I_TBS 0..26).
 N_ITBS = 27
 
@@ -137,6 +139,90 @@ def cqi_to_mcs(cqi: int) -> int:
     if not 0 <= cqi <= 15:
         raise ValueError(f"CQI out of range [0, 15]: {cqi}")
     return CQI_TO_MCS[cqi]
+
+
+# --- vectorised lookup views (the array-backed engine's tables) -------------
+#
+# The batched TTI loop (:mod:`repro.lte.vecsched`, :mod:`repro.lte.engine`)
+# reuses the exact tables above as numpy lookup arrays, so scalar and
+# vector paths can never disagree on a single TBS value.  All arrays are
+# built once per process and marked read-only.
+
+
+@lru_cache(maxsize=None)
+def tbs_bytes_array() -> np.ndarray:
+    """The 27x110 TBS table in **bytes** as a read-only int64 array.
+
+    ``tbs_bytes_array()[i_tbs, n_prb - 1] == transport_block_bytes(i_tbs,
+    n_prb)`` for every valid index; rows are non-decreasing, which is what
+    the batched ``searchsorted`` grant kernel relies on.
+    """
+    table = np.array(_tbs_table(), dtype=np.int64) // 8
+    table.setflags(write=False)
+    return table
+
+
+@lru_cache(maxsize=None)
+def itbs_of_mcs_array() -> np.ndarray:
+    """MCS index -> I_TBS as a read-only int64 lookup array."""
+    arr = np.array([itbs for _, itbs in MCS_TABLE], dtype=np.int64)
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=None)
+def mcs_of_cqi_array() -> np.ndarray:
+    """CQI (0-15) -> MCS as a read-only int64 lookup array."""
+    arr = np.array(CQI_TO_MCS, dtype=np.int64)
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=None)
+def pf_instantaneous_bytes_array() -> np.ndarray:
+    """I_TBS -> reference TBS bytes at N_PRB=25 (PF priority numerator).
+
+    Float64 so the vector PF priority divides exactly like the scalar
+    ``transport_block_bytes(i_tbs, 25) / max(avg, 1e-9)`` expression.
+    """
+    arr = tbs_bytes_array()[:, 24].astype(np.float64)
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=None)
+def neg_pf_instantaneous_bytes_array() -> np.ndarray:
+    """Negated :func:`pf_instantaneous_bytes_array` (descending argsort).
+
+    ``(-x) / y`` is IEEE-identical to ``-(x / y)``, so sorting the
+    negated priority ascending reproduces the scalar PF's descending
+    rank exactly while saving a per-TTI negation pass.
+    """
+    arr = -pf_instantaneous_bytes_array()
+    arr.setflags(write=False)
+    return arr
+
+
+def prb_needed_batch(pending_bytes: np.ndarray,
+                     i_tbs: np.ndarray) -> np.ndarray:
+    """Unbounded-budget :func:`grant_for_bytes` for a batch of demands.
+
+    For each demand, the smallest PRB count whose TBS carries
+    ``pending_bytes`` at that ``i_tbs`` — i.e. what ``grant_for_bytes``
+    returns when ``max_prb`` is not binding.  Demands too large for even
+    ``MAX_PRB`` PRBs come back as ``MAX_PRB + 1``; callers treat any
+    need exceeding their remaining budget as a saturated grant, exactly
+    mirroring the scalar function's ``row[max_prb-1]//8 <= pending``
+    saturation edge.
+    """
+    pending = np.asarray(pending_bytes, dtype=np.int64)
+    itbs = np.asarray(i_tbs, dtype=np.int64)
+    table = tbs_bytes_array()
+    # Rows are non-decreasing, so "count of entries < pending" is the
+    # side="left" insertion point; one broadcast beats a per-unique-row
+    # searchsorted loop for the batch sizes the TTI loop sees.
+    return (table[itbs] < pending[:, None]).sum(axis=1,
+                                                dtype=np.int64) + 1
 
 
 def grant_for_bytes(pending_bytes: int, mcs: int, max_prb: int) -> Tuple[int, int]:

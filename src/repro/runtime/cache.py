@@ -11,10 +11,14 @@ keys each simulation on *everything that determines its output*:
   ``core/dataset.py``) — so editing the simulator silently invalidates
   every stale entry without any manual versioning.
 
-Entries are pickled to ``<sha256>.pkl`` under the cache directory via
-write-to-temp + ``os.replace``, so concurrent writers (parallel pytest
-runs, multi-process fan-outs) can never leave a torn entry; the worst
-case is writing the same bytes twice.  A byte-size LRU bound keeps the
+:class:`~repro.sniffer.trace.Trace` values are stored as
+*uncompressed* NPZ (``<sha256>.npz``) and read back memory-mapped
+(``mmap_mode="r"``), so a cache hit hands the simulator's columnar
+arrays to the feature pipeline zero-copy straight out of the page
+cache; everything else is pickled to ``<sha256>.pkl``.  Both lanes
+write via write-to-temp + ``os.replace``, so concurrent writers
+(parallel pytest runs, multi-process fan-outs) can never leave a torn
+entry; the worst case is writing the same bytes twice.  A byte-size LRU bound keeps the
 directory from growing without limit: recency is ``st_mtime`` (hits
 touch their entry via ``os.utime``, which bumps atime *and* mtime),
 and eviction walks entries oldest-mtime first with a deterministic
@@ -154,6 +158,9 @@ class TraceCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
 
+    def _npz_path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
     # -- read / write -------------------------------------------------------------
 
     def get(self, key: str):
@@ -162,6 +169,32 @@ class TraceCache:
             return self._get(key)
 
     def _get(self, key: str):
+        # NPZ lane first: Trace entries come back memory-mapped, so a
+        # hit costs metadata reads only — record columns stay on disk
+        # until a consumer actually touches them.
+        from ..sniffer.trace import Trace
+        npz_path = self._npz_path(key)
+        try:
+            value = Trace.from_npz(npz_path, mmap_mode="r")
+        except FileNotFoundError:
+            pass                      # no NPZ entry: fall through to pickle
+        except Exception:
+            # Torn or incompatible NPZ: drop it and treat as a miss.
+            self.stats.misses += 1
+            self._misses_obs.inc()
+            try:
+                npz_path.unlink()
+            except OSError:
+                pass
+            return None
+        else:
+            self.stats.hits += 1
+            self._hits_obs.inc()
+            try:
+                os.utime(npz_path)
+            except OSError:
+                pass
+            return value
         path = self._path(key)
         try:
             with path.open("rb") as handle:
@@ -194,13 +227,22 @@ class TraceCache:
             self._put(key, value)
 
     def _put(self, key: str, value) -> None:
+        from ..sniffer.trace import Trace
         self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
+        if isinstance(value, Trace):
+            # Uncompressed NPZ keeps every column ZIP_STORED, which is
+            # the precondition for the zero-copy mmap read in _get.
+            path = self._npz_path(key)
+            writer = lambda handle: value.to_npz(handle, compressed=False)
+        else:
+            path = self._path(key)
+            writer = lambda handle: pickle.dump(
+                value, handle, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
                                         suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                writer(handle)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -232,7 +274,7 @@ class TraceCache:
         except FileNotFoundError:
             return out
         for name in names:
-            if not name.endswith(".pkl"):
+            if not (name.endswith(".pkl") or name.endswith(".npz")):
                 continue
             path = self.directory / name
             try:

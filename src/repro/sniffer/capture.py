@@ -41,15 +41,20 @@ class CellSniffer:
         self.tracker = OWLTracker(confirm_threshold=confirm_threshold)
         self.mapper = IdentityMapper(cell=cell_id)
         self._builders: Dict[int, TraceBuilder] = {}
-        self.decoder.add_raw_sink(self._on_dci)
+        self.decoder.add_raw_sink(self._on_dci, batch=self._on_dci_batch)
         self._control_log: List[ControlMessage] = []
 
     # -- wiring -------------------------------------------------------------------
 
     def attach(self, network: LTENetwork) -> "CellSniffer":
-        """Hook this sniffer onto its cell's radio feeds."""
+        """Hook this sniffer onto its cell's radio feeds.
+
+        Registers both the scalar and the columnar PDCCH paths; the
+        network wires up whichever one the cell's engine emits.
+        """
         network.observe(self.cell_id, pdcch=self.decoder.on_pdcch,
-                        control=self.on_control)
+                        control=self.on_control,
+                        pdcch_batch=self.decoder.on_pdcch_batch)
         return self
 
     def on_control(self, message: ControlMessage) -> None:
@@ -65,6 +70,40 @@ class CellSniffer:
         if builder is None:
             builder = self._builders[rnti] = TraceBuilder()
         builder.append(time_s, rnti, direction, tbs_bytes)
+
+    def _on_dci_batch(self, time_s: float, rntis: np.ndarray,
+                      directions: np.ndarray,
+                      tbs_bytes: np.ndarray) -> None:
+        """Columnar sink: flush one grant batch into per-RNTI buffers.
+
+        The batch shares a timestamp, so splitting it by RNTI with one
+        stable argsort preserves each RNTI's record order exactly as the
+        per-record path would have appended it.
+        """
+        self.tracker.on_dci_batch(time_s, rntis)
+        if len(rntis) == 1:
+            # HARQ retransmissions arrive as single-record batches.
+            rnti = int(rntis[0])
+            builder = self._builders.get(rnti)
+            if builder is None:
+                builder = self._builders[rnti] = TraceBuilder()
+            builder.append(time_s, rnti, int(directions[0]),
+                           int(tbs_bytes[0]))
+            return
+        order = np.argsort(rntis, kind="stable")
+        ordered = rntis[order]
+        boundaries = np.nonzero(np.diff(ordered))[0] + 1
+        times = np.full(len(rntis), time_s, dtype=np.float64)
+        for start, stop in zip(
+                np.concatenate(([0], boundaries)),
+                np.concatenate((boundaries, [len(ordered)]))):
+            rnti = int(ordered[start])
+            picks = order[start:stop]
+            builder = self._builders.get(rnti)
+            if builder is None:
+                builder = self._builders[rnti] = TraceBuilder()
+            builder.extend(times[:stop - start], rntis[picks],
+                           directions[picks], tbs_bytes[picks])
 
     # -- extraction ---------------------------------------------------------------------
 

@@ -13,12 +13,15 @@ sniffer must.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
 
 from .. import obs
 from ..lte.channel import CaptureChannel, ChannelProfile
-from ..lte.dci import DecodeError, EncodedDCI, PDCCHTransmission
-from ..lte.identifiers import is_crnti
+from ..lte.dci import (DCIFormat, DCIMessage, DecodeError, Direction,
+                       EncodedDCI, PDCCHTransmission)
+from ..lte.identifiers import CRNTI_MAX, CRNTI_MIN, is_crnti
 from ..lte.sim import to_seconds
 from .trace import TraceRecord
 
@@ -26,6 +29,9 @@ RecordSink = Callable[[TraceRecord], None]
 #: Primitive sink: ``(time_s, rnti, direction, tbs_bytes)`` — the hot
 #: path used by the sniffer's columnar builders (no per-DCI objects).
 RawSink = Callable[[float, int, int, int], None]
+#: Columnar sink: ``(time_s, rntis, directions, tbs_bytes)`` — one call
+#: per grant batch, arrays in emission order.
+RawBatchSink = Callable[[float, np.ndarray, np.ndarray, np.ndarray], None]
 
 
 class DCIDecoder:
@@ -46,7 +52,7 @@ class DCIDecoder:
                                        rng or random.Random(0))
         self._drop_non_crnti = drop_non_crnti
         self._sinks: List[RecordSink] = []
-        self._raw_sinks: List[RawSink] = []
+        self._raw_sinks: List[Tuple[RawSink, Optional[RawBatchSink]]] = []
         # Registry-backed counters behind the historical public
         # attributes (``decoded`` / ``rejected`` stay readable whether
         # or not observability is collecting).
@@ -70,9 +76,17 @@ class DCIDecoder:
         """Register a consumer of decoded :class:`TraceRecord` objects."""
         self._sinks.append(sink)
 
-    def add_raw_sink(self, sink: RawSink) -> None:
-        """Register a primitive consumer ``(time_s, rnti, dir, tbs)``."""
-        self._raw_sinks.append(sink)
+    def add_raw_sink(self, sink: RawSink,
+                     batch: Optional[RawBatchSink] = None) -> None:
+        """Register a primitive consumer ``(time_s, rnti, dir, tbs)``.
+
+        ``batch`` optionally pairs a columnar counterpart: when the
+        decoder ingests a whole :class:`~repro.lte.engine.GrantBatch`
+        (:meth:`on_pdcch_batch`), the batch sink receives the surviving
+        records as arrays in one call *instead of* per-record calls to
+        ``sink`` — never both, so no record is delivered twice.
+        """
+        self._raw_sinks.append((sink, batch))
 
     def on_pdcch(self, transmission: PDCCHTransmission) -> None:
         """Observer callback: capture, blind-decode, fan out."""
@@ -97,7 +111,7 @@ class DCIDecoder:
             return
         self._decoded.inc()
         time_s = to_seconds(transmission.time_us)
-        for raw_sink in self._raw_sinks:
+        for raw_sink, _ in self._raw_sinks:
             raw_sink(time_s, dci.rnti, int(dci.direction), dci.tbs_bytes)
         if self._sinks:
             record = TraceRecord(time_s=time_s, rnti=dci.rnti,
@@ -105,6 +119,70 @@ class DCIDecoder:
                                  tbs_bytes=dci.tbs_bytes)
             for sink in self._sinks:
                 sink(record)
+
+    def on_pdcch_batch(self, batch) -> None:
+        """Columnar observer: ingest one grant batch without per-DCI objects.
+
+        Two lanes, both record-for-record equivalent to feeding each
+        grant through :meth:`on_pdcch`:
+
+        * **clean channel** (no loss, no corruption): every grant is
+          captured and decodes back to exactly the columns the engine
+          emitted, so the whole batch is accepted with array ops.  The
+          per-record capture draws are skipped — they are outcome-free
+          at zero loss/corruption, and the capture rng is private to
+          this decoder, so no other component sees the stream move.
+        * **lossy channel**: each record is materialised and routed
+          through the scalar path so loss/corruption draws and blind
+          decoding happen in exactly the legacy order.
+        """
+        count = len(batch.rntis)
+        if count == 0:
+            return
+        profile = self._capture._profile
+        if profile.capture_loss > 0.0 or profile.corruption_prob > 0.0:
+            fmt = (DCIFormat.FORMAT_1A
+                   if batch.direction is Direction.DOWNLINK
+                   else DCIFormat.FORMAT_0)
+            for rnti, mcs, n_prb in zip(batch.rntis.tolist(),
+                                        batch.mcs.tolist(),
+                                        batch.n_prb.tolist()):
+                dci = DCIMessage(fmt=fmt, rnti=rnti, mcs=mcs, n_prb=n_prb)
+                self.on_pdcch(PDCCHTransmission(time_us=batch.time_us,
+                                                encoded=dci.encode()))
+            return
+        self._capture.captured += count
+        self._captured_obs.inc(count)
+        rntis = batch.rntis
+        tbs = batch.tbs_bytes
+        if self._drop_non_crnti:
+            keep = (rntis >= CRNTI_MIN) & (rntis <= CRNTI_MAX)
+            if not keep.all():
+                dropped = count - int(keep.sum())
+                self._rejected.inc(dropped)
+                rntis = rntis[keep]
+                tbs = tbs[keep]
+        kept = len(rntis)
+        if kept == 0:
+            return
+        self._decoded.inc(kept)
+        time_s = to_seconds(batch.time_us)
+        directions = np.full(kept, int(batch.direction), dtype=np.int64)
+        for raw_sink, batch_sink in self._raw_sinks:
+            if batch_sink is not None:
+                batch_sink(time_s, rntis, directions, tbs)
+            else:
+                direction_int = int(batch.direction)
+                for index in range(kept):
+                    raw_sink(time_s, int(rntis[index]), direction_int,
+                             int(tbs[index]))
+        if self._sinks:
+            for index in range(kept):
+                record = TraceRecord(time_s=time_s, rnti=int(rntis[index]),
+                                     direction=batch.direction,
+                                     tbs_bytes=int(tbs[index]))
+                for sink in self._sinks:
+                    sink(record)
 
     @property
     def capture_stats(self) -> dict:

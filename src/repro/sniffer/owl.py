@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from .. import obs
 from ..lte.identifiers import is_crnti
 from ..lte.rrc import (ControlMessage, RandomAccessResponse,
@@ -98,6 +100,48 @@ class OWLTracker:
             candidate.last_seen_s = now
         if candidate.hits >= self._threshold:
             self._confirm(rnti, now)
+
+    def on_dci_batch(self, now: float, rntis) -> None:
+        """Feed one grant batch (same-timestamp records) in one call.
+
+        State-for-state equivalent to calling :meth:`on_dci` once per
+        record: records of one batch share a timestamp, so the per-record
+        expiry/sweep passes after the first are provably no-ops (every
+        touched entry has ``last_seen_s == now``), and per-RNTI counts
+        collapse analytically — ``h`` hits split into candidate hits up
+        to the confirm threshold, a confirmation, and activity records
+        for the remainder.  RNTI groups are mutually independent, so
+        processing them in sorted rather than emission order changes no
+        state.
+        """
+        self._expire_stale(now)
+        unique, counts = np.unique(np.asarray(rntis), return_counts=True)
+        for rnti, count in zip(unique.tolist(), counts.tolist()):
+            if not is_crnti(rnti):
+                continue
+            activity = self._active.get(rnti)
+            if activity is not None:
+                activity.last_seen_s = now
+                activity.records += count
+                continue
+            candidate = self._candidates.get(rnti)
+            if (candidate is None
+                    or now - candidate.first_seen_s > self._window_s):
+                candidate = _Candidate(first_seen_s=now, last_seen_s=now)
+                self._candidates[rnti] = candidate
+            else:
+                candidate.hits += 1
+                candidate.last_seen_s = now
+            remaining = count - 1
+            if candidate.hits < self._threshold:
+                taken = min(remaining, self._threshold - candidate.hits)
+                candidate.hits += taken
+                if taken:
+                    candidate.last_seen_s = now
+                remaining -= taken
+            if candidate.hits >= self._threshold:
+                self._confirm(rnti, now)
+                self._active[rnti].records += remaining
 
     def on_control(self, message: ControlMessage) -> None:
         """Feed one control-plane message."""

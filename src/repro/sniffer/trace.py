@@ -22,6 +22,7 @@ from __future__ import annotations
 import csv
 import json
 import re
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
@@ -115,6 +116,28 @@ class TraceBuilder:
     def tbs_bytes(self) -> np.ndarray:
         return self._tbs[:self._n]
 
+    def extend(self, times_s, rntis, directions, tbs_bytes) -> None:
+        """Bulk-append parallel columns (one grant batch) in one call.
+
+        Equivalent to ``append`` per record but copies whole slices;
+        the batch must not start before the last buffered record.
+        """
+        count = len(times_s)
+        if count == 0:
+            return
+        n = self._n
+        if n and times_s[0] < self._times[n - 1]:
+            raise ValueError("records must be appended in time order")
+        if count > 1 and np.any(np.diff(times_s) < 0):
+            raise ValueError("records must be appended in time order")
+        while n + count > len(self._times):
+            self._grow()
+        self._times[n:n + count] = times_s
+        self._rntis[n:n + count] = rntis
+        self._dirs[n:n + count] = directions
+        self._tbs[n:n + count] = tbs_bytes
+        self._n = n + count
+
     def build(self, **metadata) -> "Trace":
         """Finalise into a :class:`Trace` (shares the buffers, no copy)."""
         return Trace.from_arrays(self.times_s, self.rntis, self.directions,
@@ -127,6 +150,82 @@ _NPZ_DTYPES = {"times_s": TIME_DTYPE, "rntis": RNTI_DTYPE,
                "offsets": np.int64}
 
 _NPZ_COLUMNS = ("times_s", "rntis", "directions", "tbs_bytes")
+
+
+def _npz_member_offset(path: Path, info: "zipfile.ZipInfo") -> int:
+    """Absolute file offset of a stored ZIP member's raw data.
+
+    The central directory's ``header_offset`` points at the member's
+    *local* file header; the name and extra fields recorded there may
+    differ in length from the central copy, so the local header itself
+    is parsed for the two length fields (ZIP local header layout: name
+    length at offset 26, extra length at offset 28, data follows the
+    30-byte fixed part).
+    """
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+    if len(local) < 30 or local[:4] != b"PK\x03\x04":
+        raise ValueError(f"{path}: corrupt local ZIP header for "
+                         f"{info.filename!r}")
+    name_length = int.from_bytes(local[26:28], "little")
+    extra_length = int.from_bytes(local[28:30], "little")
+    return info.header_offset + 30 + name_length + extra_length
+
+
+_NPY_HEADER_READERS = {
+    (1, 0): np.lib.format.read_array_header_1_0,
+    (2, 0): np.lib.format.read_array_header_2_0,
+}
+
+
+def _mmap_npz_columns(path: Path, names: Sequence[str],
+                      mmap_mode: str) -> Optional[Dict[str, np.ndarray]]:
+    """Memory-map the named members of an *uncompressed* NPZ archive.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the request for
+    zip members, so the mapping is done by hand: each ``<name>.npy``
+    member written by ``np.savez`` is stored (not deflated), its array
+    data sitting contiguously in the archive after the local ZIP header
+    and the ``.npy`` header.  Returns ``None`` when any member is
+    compressed or uses an unknown ``.npy`` format version — callers
+    fall back to a normal copying load.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        known = set(archive.namelist())
+        for name in names:
+            member = name + ".npy"
+            if member not in known:
+                return None
+            info = archive.getinfo(member)
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            with archive.open(member) as handle:
+                version = np.lib.format.read_magic(handle)
+                reader = _NPY_HEADER_READERS.get(version)
+                if reader is None:
+                    return None
+                shape, fortran_order, dtype = reader(handle)
+                header_size = handle.tell()
+            if len(shape) != 1 or fortran_order:
+                return None
+            if shape[0] == 0:
+                arrays[name] = np.empty(shape, dtype=dtype)
+                continue
+            offset = _npz_member_offset(path, info) + header_size
+            arrays[name] = np.memmap(path, dtype=dtype, mode=mmap_mode,
+                                     offset=offset, shape=shape)
+    return arrays
+
+
+def _load_npz_meta(path: Path) -> str:
+    """Read only the JSON ``meta`` member of an NPZ archive."""
+    with np.load(path) as data:
+        if "meta" not in data:
+            raise ValueError(f"{path}: NPZ archive is missing arrays "
+                             f"['meta'] (truncated or foreign file?)")
+        return str(data["meta"])
 
 
 def _checked_npz_columns(data, path: Path, extra: Sequence[str] = ()) -> Dict:
@@ -456,22 +555,48 @@ class Trace:
         trace.apply_metadata(metadata)
         return trace
 
-    def to_npz(self, path: Path) -> None:
-        """Write the four columns + metadata as one compressed NPZ file."""
-        np.savez_compressed(
-            Path(path), times_s=self.times_s, rntis=self.rntis,
-            directions=self.directions, tbs_bytes=self.tbs_bytes,
-            meta=np.array(json.dumps(self.metadata())))
+    def to_npz(self, path, compressed: bool = True) -> None:
+        """Write the four columns + metadata as one NPZ file.
+
+        ``compressed=False`` stores members raw (``np.savez``), which is
+        what makes the archive memory-mappable by
+        ``from_npz(..., mmap_mode="r")`` — the zero-copy spill format of
+        the sharded simulator and the trace cache.  ``path`` may also be
+        an open binary file object (for atomic temp-file writes).
+        """
+        saver = np.savez_compressed if compressed else np.savez
+        target = path if hasattr(path, "write") else Path(path)
+        saver(target, times_s=self.times_s, rntis=self.rntis,
+              directions=self.directions, tbs_bytes=self.tbs_bytes,
+              meta=np.array(json.dumps(self.metadata())))
 
     @classmethod
-    def from_npz(cls, path: Path) -> "Trace":
+    def from_npz(cls, path: Path, mmap_mode: Optional[str] = None) -> "Trace":
         """Read a trace previously written by :meth:`to_npz`.
 
-        Raises ``ValueError`` (naming the file and the defect) when the
-        archive is missing columns, carries wrong dtypes, or its columns
-        disagree on length — the signatures of truncation.
+        With ``mmap_mode`` (e.g. ``"r"``), columns of an *uncompressed*
+        archive are memory-mapped read-only instead of copied into RAM —
+        the kernel pages record data in on demand and may share it
+        across processes.  Compressed archives silently fall back to a
+        normal load.  Raises ``ValueError`` (naming the file and the
+        defect) when the archive is missing columns, carries wrong
+        dtypes, or its columns disagree on length — the signatures of
+        truncation.
         """
         path = Path(path)
+        if mmap_mode is not None:
+            mapped = _mmap_npz_columns(path, _NPZ_COLUMNS, mmap_mode)
+            if mapped is not None:
+                metadata = json.loads(_load_npz_meta(path))
+                mapped["meta"] = True
+                columns = _checked_npz_columns(mapped, path)
+                trace = cls.from_arrays(columns["times_s"],
+                                        columns["rntis"],
+                                        columns["directions"],
+                                        columns["tbs_bytes"],
+                                        validate=False)
+                trace.apply_metadata(metadata)
+                return trace
         with np.load(path) as data:
             columns = _checked_npz_columns(data, path)
             trace = cls.from_arrays(columns["times_s"], columns["rntis"],
@@ -549,11 +674,13 @@ class TraceSet:
         traces = [Trace.from_csv(path) for _, path in sorted(indexed)]
         return cls(traces)
 
-    def to_npz(self, path: Path) -> None:
+    def to_npz(self, path, compressed: bool = True) -> None:
         """Batch-persist the whole set as one NPZ (columns + offsets).
 
         Orders of magnitude faster than the per-row CSV format for
         dataset round-trips; CSV/JSONL remain for interchange.
+        ``compressed=False`` stores members raw so ``from_npz(...,
+        mmap_mode="r")`` can hand the columns back zero-copy.
         """
         counts = np.array([len(t) for t in self.traces], dtype=np.int64)
         offsets = np.concatenate([[0], np.cumsum(counts)])
@@ -568,12 +695,15 @@ class TraceSet:
             dirs = np.empty(0, DIR_DTYPE)
             tbs = np.empty(0, TBS_DTYPE)
         meta = json.dumps([t.metadata() for t in self.traces])
-        np.savez_compressed(Path(path), offsets=offsets, times_s=times,
-                            rntis=rntis, directions=dirs, tbs_bytes=tbs,
-                            meta=np.array(meta))
+        saver = np.savez_compressed if compressed else np.savez
+        target = path if hasattr(path, "write") else Path(path)
+        saver(target, offsets=offsets, times_s=times,
+              rntis=rntis, directions=dirs, tbs_bytes=tbs,
+              meta=np.array(meta))
 
     @classmethod
-    def from_npz(cls, path: Path) -> "TraceSet":
+    def from_npz(cls, path: Path,
+                 mmap_mode: Optional[str] = None) -> "TraceSet":
         """Load a set previously written by :meth:`to_npz`.
 
         Validates the archive before slicing: columns present with the
@@ -581,35 +711,54 @@ class TraceSet:
         consistent with both the metadata list and the record count.  A
         truncated or torn archive raises ``ValueError`` naming the file
         instead of silently yielding short traces.
+
+        With ``mmap_mode``, the columns of an uncompressed archive are
+        memory-mapped and each trace becomes a zero-copy slice view —
+        the read side of the sharded simulator's spill handoff.
         """
         path = Path(path)
-        traces: List[Trace] = []
+        if mmap_mode is not None:
+            names = list(_NPZ_COLUMNS) + ["offsets"]
+            mapped = _mmap_npz_columns(path, names, mmap_mode)
+            if mapped is not None:
+                metas = json.loads(_load_npz_meta(path))
+                mapped["meta"] = True
+                columns = _checked_npz_columns(mapped, path,
+                                               extra=["offsets"])
+                return cls._from_columns(columns, metas, path)
         with np.load(path) as data:
             columns = _checked_npz_columns(data, path, extra=["offsets"])
-            offsets = columns["offsets"]
-            times, rntis = columns["times_s"], columns["rntis"]
-            dirs, tbs = columns["directions"], columns["tbs_bytes"]
             metas = json.loads(str(data["meta"]))
-            if len(offsets) != len(metas) + 1:
-                raise ValueError(
-                    f"{path}: offsets length {len(offsets)} does not match "
-                    f"{len(metas)} metadata entries (expected "
-                    f"{len(metas) + 1})")
-            if len(offsets) and int(offsets[0]) != 0:
-                raise ValueError(f"{path}: offsets must start at 0, got "
-                                 f"{int(offsets[0])}")
-            if np.any(np.diff(offsets) < 0):
-                raise ValueError(f"{path}: offsets must be non-decreasing")
-            if len(offsets) and int(offsets[-1]) != len(times):
-                raise ValueError(
-                    f"{path}: offsets end at {int(offsets[-1])} but the "
-                    f"archive holds {len(times)} records "
-                    f"(truncated archive?)")
-            for index, metadata in enumerate(metas):
-                lo, hi = int(offsets[index]), int(offsets[index + 1])
-                trace = Trace.from_arrays(times[lo:hi], rntis[lo:hi],
-                                          dirs[lo:hi], tbs[lo:hi],
-                                          validate=False)
-                trace.apply_metadata(metadata)
-                traces.append(trace)
+            return cls._from_columns(columns, metas, path)
+
+    @classmethod
+    def _from_columns(cls, columns: Dict, metas: List[Dict],
+                      path: Path) -> "TraceSet":
+        """Slice validated NPZ columns into traces (shared by both loads)."""
+        offsets = columns["offsets"]
+        times, rntis = columns["times_s"], columns["rntis"]
+        dirs, tbs = columns["directions"], columns["tbs_bytes"]
+        if len(offsets) != len(metas) + 1:
+            raise ValueError(
+                f"{path}: offsets length {len(offsets)} does not match "
+                f"{len(metas)} metadata entries (expected "
+                f"{len(metas) + 1})")
+        if len(offsets) and int(offsets[0]) != 0:
+            raise ValueError(f"{path}: offsets must start at 0, got "
+                             f"{int(offsets[0])}")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError(f"{path}: offsets must be non-decreasing")
+        if len(offsets) and int(offsets[-1]) != len(times):
+            raise ValueError(
+                f"{path}: offsets end at {int(offsets[-1])} but the "
+                f"archive holds {len(times)} records "
+                f"(truncated archive?)")
+        traces: List[Trace] = []
+        for index, metadata in enumerate(metas):
+            lo, hi = int(offsets[index]), int(offsets[index + 1])
+            trace = Trace.from_arrays(times[lo:hi], rntis[lo:hi],
+                                      dirs[lo:hi], tbs[lo:hi],
+                                      validate=False)
+            trace.apply_metadata(metadata)
+            traces.append(trace)
         return cls(traces)

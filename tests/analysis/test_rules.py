@@ -299,6 +299,63 @@ def test_par003_negative_inside_runtime_package():
     assert rules_fired(src, path) == []
 
 
+# -- PAR004: per-UE loops in vectorized hot-path modules --------------------------
+
+_ENGINE = Path("repro/lte/engine.py")
+
+
+def test_par004_positive_loop_over_ue_contexts():
+    src = ("def tti(self):\n"
+           "    for ctx in self._contexts.values():\n"
+           "        ctx.step()\n")
+    assert rules_fired(src, _ENGINE) == ["PAR004"]
+
+
+def test_par004_positive_loop_over_grants():
+    src = ("def apply(grants):\n"
+           "    total = 0\n"
+           "    for grant in grants:\n"
+           "        total += grant.tbs_bytes\n"
+           "    return total\n")
+    assert rules_fired(src, _ENGINE) == ["PAR004"]
+
+
+def test_par004_positive_contexts_values_iteration():
+    src = ("def sweep(contexts):\n"
+           "    for slot in contexts.values():\n"
+           "        slot.reset()\n")
+    assert rules_fired(src, _ENGINE) == ["PAR004"]
+
+
+def test_par004_negative_vectorised_body():
+    src = ("import numpy as np\n"
+           "def tti(pending, served):\n"
+           "    return pending - np.minimum(pending, served)\n")
+    assert rules_fired(src, _ENGINE) == []
+
+
+def test_par004_negative_non_ue_loop():
+    src = ("def reset(self):\n"
+           "    for name in ('_arr_dl', '_arr_ul'):\n"
+           "        getattr(self, name).fill(0)\n")
+    assert rules_fired(src, _ENGINE) == []
+
+
+def test_par004_negative_outside_hot_path_modules():
+    src = ("def drain(contexts):\n"
+           "    for ctx in contexts.values():\n"
+           "        ctx.step()\n")
+    assert rules_fired(src, GENERIC) == []
+
+
+def test_par004_noqa_suppresses_justified_scalar_loop():
+    src = ("def harq(allocations):\n"
+           "    for allocation in allocations:"
+           "  # repro: noqa[PAR004] — draw order is observable\n"
+           "        allocation.retransmit()\n")
+    assert rules_fired(src, _ENGINE) == []
+
+
 # -- OBS001: @obs.timed on experiment drivers -------------------------------------
 
 _EXPERIMENT = Path("repro/experiments/table9_new.py")
@@ -364,7 +421,7 @@ def test_ruleset_covers_all_four_families():
 
 @pytest.mark.parametrize("rule_id", [
     "DET001", "DET002", "DET003", "DET004", "NUM001", "NUM002", "NUM003",
-    "PAR001", "PAR002", "PAR003", "OBS001", "OBS002",
+    "PAR001", "PAR002", "PAR003", "PAR004", "OBS001", "OBS002",
 ])
 def test_every_shipped_rule_is_registered(rule_id):
     from repro.analysis import all_rules

@@ -1,0 +1,74 @@
+"""Trace cache entries persist as NPZ and read back memory-mapped."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import TraceCache
+from repro.sniffer.trace import Trace, TraceRecord
+
+
+def _mmap_backed(array):
+    node = array
+    while node is not None:
+        if isinstance(node, np.memmap):
+            return True
+        node = node.base
+    return False
+
+
+def _trace(n=1_000):
+    records = [TraceRecord(time_s=i * 1e-3, rnti=0x0070, direction=1,
+                           tbs_bytes=100 + i) for i in range(n)]
+    return Trace(records, label="Netflix", cell="c0", day=2)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(tmp_path, fingerprint="test")
+
+
+def test_trace_values_stored_as_npz(cache, tmp_path):
+    key = cache.key(kind="trace", app="Netflix")
+    cache.put(key, _trace())
+    assert (tmp_path / f"{key}.npz").exists()
+    assert not (tmp_path / f"{key}.pkl").exists()
+
+
+def test_trace_hit_is_mmap_backed_and_equal(cache):
+    trace = _trace()
+    key = cache.key(kind="trace")
+    cache.put(key, trace)
+    hit = cache.get(key)
+    for name in ("times_s", "rntis", "directions", "tbs_bytes"):
+        assert np.array_equal(getattr(hit, name), getattr(trace, name))
+        assert _mmap_backed(getattr(hit, name)), f"{name} copied on hit"
+    assert hit.label == "Netflix" and hit.cell == "c0" and hit.day == 2
+    assert cache.stats.hits == 1
+
+
+def test_non_trace_values_still_pickle(cache, tmp_path):
+    pair = (_trace(100), _trace(100))
+    key = cache.key(kind="pair")
+    cache.put(key, pair)
+    assert (tmp_path / f"{key}.pkl").exists()
+    hit = cache.get(key)
+    assert len(hit) == 2
+    assert np.array_equal(hit[0].times_s, pair[0].times_s)
+
+
+def test_torn_npz_entry_is_a_miss_and_removed(cache, tmp_path):
+    key = cache.key(kind="torn")
+    (tmp_path / f"{key}.npz").write_bytes(b"this is not an archive")
+    assert cache.get(key) is None
+    assert cache.stats.misses == 1
+    assert not (tmp_path / f"{key}.npz").exists()
+
+
+def test_npz_entries_participate_in_lru_accounting(cache, tmp_path):
+    cache.put(cache.key(kind="a"), _trace(500))
+    cache.put(cache.key(kind="b"), ["plain", "pickle"])
+    entries = cache.entries()
+    assert len(entries) == 2
+    suffixes = sorted(path.suffix for path, _, _ in entries)
+    assert suffixes == [".npz", ".pkl"]
+    assert cache.total_bytes() > 0

@@ -1,0 +1,66 @@
+"""``ParallelMap.map_batched``: batched fan-out, identical semantics."""
+
+import pytest
+
+from repro.runtime.parallel import ParallelMap
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(value):
+    raise RuntimeError(f"boom {value}")
+
+
+def test_map_batched_equals_map_on_serial_backend():
+    mapper = ParallelMap(workers=1)
+    items = list(range(37))
+    assert mapper.map_batched(_square, items) == mapper.map(_square, items)
+
+
+@pytest.mark.parametrize("batch_size", [1, 2, 5, 37, 100])
+def test_map_batched_order_is_batch_size_invariant(batch_size):
+    mapper = ParallelMap(workers=1)
+    items = list(range(37))
+    assert (mapper.map_batched(_square, items, batch_size=batch_size)
+            == [_square(item) for item in items])
+
+
+def test_map_batched_process_backend_matches_serial():
+    items = list(range(23))
+    expected = [_square(item) for item in items]
+    serial = ParallelMap(workers=1, backend="serial")
+    process = ParallelMap(workers=3, backend="process")
+    assert serial.map_batched(_square, items) == expected
+    assert process.map_batched(_square, items) == expected
+    assert process.map_batched(_square, items, batch_size=4) == expected
+
+
+def test_map_batched_empty_and_validation():
+    mapper = ParallelMap(workers=1)
+    assert mapper.map_batched(_square, []) == []
+    with pytest.raises(ValueError):
+        mapper.map_batched(_square, [1, 2], batch_size=0)
+
+
+def test_map_batched_default_batches_scale_with_workers():
+    # 100 items over 4 workers: default is ceil(100 / 16) = 7 per batch,
+    # i.e. far fewer pool tasks than one-per-item.
+    mapper = ParallelMap(workers=4, backend="process")
+    items = list(range(100))
+    assert mapper.map_batched(_square, items) == [_square(i) for i in items]
+
+
+def test_map_batched_unpicklable_fn_degrades_to_serial():
+    mapper = ParallelMap(workers=2, backend="process")
+    offset = 3
+    items = list(range(10))
+    result = mapper.map_batched(lambda v: v + offset, items)
+    assert result == [v + offset for v in items]
+
+
+def test_map_batched_propagates_worker_errors():
+    mapper = ParallelMap(workers=1)
+    with pytest.raises(RuntimeError):
+        mapper.map_batched(_boom, [1])

@@ -1,0 +1,86 @@
+"""Zero-copy NPZ: ``from_npz(mmap_mode=...)`` maps columns off disk."""
+
+import numpy as np
+import pytest
+
+from repro.sniffer.trace import Trace, TraceRecord, TraceSet
+
+
+def _mmap_backed(array):
+    """True when the array's memory is a view into an ``np.memmap``."""
+    node = array
+    while node is not None:
+        if isinstance(node, np.memmap):
+            return True
+        node = node.base
+    return False
+
+
+def _large_trace(n=5_000, **metadata):
+    records = [TraceRecord(time_s=i * 1e-3, rnti=0x0070, direction=i % 2,
+                           tbs_bytes=57 + (i % 311)) for i in range(n)]
+    return Trace(records, **metadata)
+
+
+COLUMNS = ("times_s", "rntis", "directions", "tbs_bytes")
+
+
+def test_from_npz_mmap_does_not_copy_columns(tmp_path):
+    path = tmp_path / "trace.npz"
+    trace = _large_trace(label="Netflix", cell="c0", day=3)
+    trace.to_npz(path, compressed=False)
+    mapped = Trace.from_npz(path, mmap_mode="r")
+    for name in COLUMNS:
+        original = getattr(trace, name)
+        column = getattr(mapped, name)
+        assert np.array_equal(column, original)
+        assert column.dtype == original.dtype
+        assert _mmap_backed(column), f"{name} was copied, not mapped"
+    assert mapped.label == "Netflix"
+    assert mapped.cell == "c0"
+    assert mapped.day == 3
+
+
+def test_from_npz_compressed_falls_back_to_copy(tmp_path):
+    path = tmp_path / "trace.npz"
+    trace = _large_trace(n=500)
+    trace.to_npz(path, compressed=True)   # deflated members: not mappable
+    loaded = Trace.from_npz(path, mmap_mode="r")
+    for name in COLUMNS:
+        assert np.array_equal(getattr(loaded, name), getattr(trace, name))
+        assert not _mmap_backed(getattr(loaded, name))
+
+
+def test_from_npz_without_mmap_mode_is_unchanged(tmp_path):
+    path = tmp_path / "trace.npz"
+    trace = _large_trace(n=300)
+    trace.to_npz(path, compressed=False)
+    loaded = Trace.from_npz(path)
+    for name in COLUMNS:
+        assert np.array_equal(getattr(loaded, name), getattr(trace, name))
+        assert not _mmap_backed(getattr(loaded, name))
+
+
+def test_traceset_from_npz_mmap_round_trip(tmp_path):
+    path = tmp_path / "set.npz"
+    traces = TraceSet([_large_trace(n=1_000, label="A", day=1),
+                       Trace(label="empty"),
+                       _large_trace(n=2_000, label="B", day=2)])
+    traces.to_npz(path, compressed=False)
+    mapped = TraceSet.from_npz(path, mmap_mode="r")
+    assert len(mapped.traces) == 3
+    assert [t.label for t in mapped.traces] == ["A", "empty", "B"]
+    for original, loaded in zip(traces.traces, mapped.traces):
+        for name in COLUMNS:
+            assert np.array_equal(getattr(loaded, name),
+                                  getattr(original, name))
+            if len(loaded):
+                assert _mmap_backed(getattr(loaded, name))
+
+
+def test_mmap_mode_rejects_writable_maps(tmp_path):
+    path = tmp_path / "trace.npz"
+    _large_trace(n=100).to_npz(path, compressed=False)
+    mapped = Trace.from_npz(path, mmap_mode="r")
+    with pytest.raises((ValueError, OSError)):
+        mapped.times_s[0] = -1.0
