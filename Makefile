@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-faults bench bench-features bench-smoke \
-	bench-lint bench-sim clean-cache lint report
+	bench-lint bench-sim bench-infer clean-cache lint report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -51,6 +51,13 @@ bench-lint:
 ## if the speedup drops below its floor (cf. `lte-fingerprint bench sim`).
 bench-sim:
 	$(PYTHON) benchmarks/bench_simulator.py
+
+## Inference-plane benchmark: flattened forest predict vs the object
+## descent and the batched DTW similarity matrix vs its scalar
+## reference; writes BENCH_inference.json and fails below the floors
+## (cf. `lte-fingerprint bench infer`).
+bench-infer:
+	$(PYTHON) benchmarks/bench_inference.py
 
 ## Drop every entry from the on-disk trace cache.
 clean-cache:

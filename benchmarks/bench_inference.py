@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Benchmark guard: flattened-forest predict and batched DTW scoring.
+
+Measures the two inference hot paths the attack pipeline spends its
+prediction time in:
+
+* **forest predict** — a 100-tree Random Forest classifying a large
+  window batch, once through the legacy per-tree object descent and
+  once through the flattened node-table descent (all trees × all rows
+  in one level-synchronous gather loop);
+* **similarity matrix** — the correlation attack's all-pairs DTW
+  scoring over a population of synthetic traces, once as the scalar
+  per-cell reference and once through the chunked multi-pair
+  wavefront behind ``similarity_matrix``.
+
+Both comparisons assert bit-identical outputs before timing counts.
+Results land in ``BENCH_inference.json`` at the repo root, then two
+guards run per workload:
+
+* the batched path must be at least ``MIN_SPEEDUP``× faster than the
+  scalar reference on the same inputs;
+* the measured speedup must not regress by more than 2× against the
+  committed ``BENCH_inference.json`` (loaded before overwriting).
+
+Run via ``make bench-infer``, ``python -m repro.cli bench infer``, or
+``python benchmarks/bench_inference.py``.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+OUT = REPO_ROOT / "BENCH_inference.json"
+
+MIN_FOREST_SPEEDUP = 5.0
+MIN_MATRIX_SPEEDUP = 3.0
+REGRESSION_FACTOR = 2.0
+ROUNDS = 3
+
+N_TREES = 100
+MAX_DEPTH = None  # the paper's Weka default: grow until pure
+N_TRAIN = 8000
+N_ROWS = 4000
+N_FEATURES = 16
+N_CLASSES = 6
+
+N_TRACES = 40
+TRACE_SPAN_S = 45.0
+DTW_WINDOW = 3
+
+
+def _fit_forest():
+    import numpy as np
+
+    from repro.ml import RandomForest
+
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(N_TRAIN, N_FEATURES))
+    y = rng.integers(0, N_CLASSES, size=N_TRAIN)
+    forest = RandomForest(n_trees=N_TREES, max_depth=MAX_DEPTH,
+                          seed=5).fit(X, y, n_classes=N_CLASSES)
+    X_test = rng.normal(size=(N_ROWS, N_FEATURES))
+    return forest, X_test
+
+
+def _bench_forest():
+    import numpy as np
+
+    forest, X = _fit_forest()
+    flat = forest.predict_proba(X)
+    legacy = forest._predict_proba_object(X)
+    if not np.array_equal(flat, legacy):
+        return None
+    object_s = flat_s = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        forest._predict_proba_object(X)
+        object_s = min(object_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        forest.predict_proba(X)
+        flat_s = min(flat_s, time.perf_counter() - started)
+    return object_s, flat_s
+
+
+def _make_traces():
+    import numpy as np
+
+    from repro.sniffer.trace import Trace
+
+    rng = np.random.default_rng(23)
+    traces = []
+    for index in range(N_TRACES):
+        n = int(rng.integers(200, 600))
+        times = np.sort(rng.uniform(0.0, TRACE_SPAN_S, size=n))
+        rntis = np.full(n, index + 1, dtype=np.int64)
+        directions = rng.integers(0, 2, size=n).astype(np.int64)
+        tbs = rng.integers(100, 8000, size=n).astype(np.int64)
+        traces.append(Trace.from_arrays(times, rntis, directions, tbs))
+    return traces
+
+
+def _bench_matrix():
+    import numpy as np
+
+    from repro.core.correlation import _matrix_cell, similarity_matrix
+
+    traces = _make_traces()
+    n = len(traces)
+
+    def scalar_reference():
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i, n):
+                value = _matrix_cell((i, j), traces=traces, bin_s=1.0,
+                                     dtw_window=DTW_WINDOW)
+                matrix[i, j] = matrix[j, i] = value
+        return matrix
+
+    batched = similarity_matrix(traces, dtw_window=DTW_WINDOW, workers=1)
+    reference = scalar_reference()
+    if not np.array_equal(batched, reference):
+        return None
+    scalar_s = batch_s = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        scalar_reference()
+        scalar_s = min(scalar_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        similarity_matrix(traces, dtw_window=DTW_WINDOW, workers=1)
+        batch_s = min(batch_s, time.perf_counter() - started)
+    return scalar_s, batch_s
+
+
+def _previous_speedups():
+    if not OUT.exists():
+        return {}
+    try:
+        results = json.loads(OUT.read_text())["results"]
+        return {name: results[name]["speedup"]
+                for name in ("forest_predict", "similarity_matrix")
+                if name in results}
+    except (ValueError, KeyError, TypeError):
+        return {}
+
+
+def _guard(name, speedup, floor, previous) -> int:
+    if speedup < floor:
+        print(f"FAIL: {name} speedup {speedup:.1f}x below the "
+              f"{floor:.0f}x floor", file=sys.stderr)
+        return 1
+    recorded = previous.get(name)
+    if recorded is not None and speedup < recorded / REGRESSION_FACTOR:
+        print(f"FAIL: {name} speedup {speedup:.1f}x regressed more than "
+              f"{REGRESSION_FACTOR:.0f}x against the recorded "
+              f"{recorded:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    previous = _previous_speedups()
+
+    forest_times = _bench_forest()
+    if forest_times is None:
+        print("FAIL: flattened forest diverged from the object descent",
+              file=sys.stderr)
+        return 1
+    object_s, flat_s = forest_times
+    forest_speedup = object_s / flat_s
+
+    matrix_times = _bench_matrix()
+    if matrix_times is None:
+        print("FAIL: batched similarity matrix diverged from the scalar "
+              "reference", file=sys.stderr)
+        return 1
+    scalar_s, batch_s = matrix_times
+    matrix_speedup = scalar_s / batch_s
+
+    document = {
+        "description": "Inference-plane hot paths, best of "
+                       f"{ROUNDS}: {N_TREES}-tree forest predict_proba "
+                       f"over {N_ROWS} rows (object descent vs flattened "
+                       "node tables) and the all-pairs DTW similarity "
+                       f"matrix over {N_TRACES} traces (per-cell scalar "
+                       "reference vs chunked multi-pair wavefront).  "
+                       "Outputs asserted bit-identical before timing.",
+        "workload": {
+            "n_trees": N_TREES,
+            "max_depth": MAX_DEPTH,
+            "predict_rows": N_ROWS,
+            "n_features": N_FEATURES,
+            "n_classes": N_CLASSES,
+            "n_traces": N_TRACES,
+            "dtw_window": DTW_WINDOW,
+            "rounds": ROUNDS,
+            # Both timed paths run single-worker so speedups measure the
+            # batched kernels, not process fan-out; cpu_count is recorded
+            # because the regression guard compares runs across hosts.
+            "cpu_count": os.cpu_count(),
+        },
+        "results": {
+            "forest_predict": {
+                "object_wall_s": object_s,
+                "table_wall_s": flat_s,
+                "speedup": forest_speedup,
+                "min_speedup": MIN_FOREST_SPEEDUP,
+            },
+            "similarity_matrix": {
+                "scalar_wall_s": scalar_s,
+                "batched_wall_s": batch_s,
+                "speedup": matrix_speedup,
+                "min_speedup": MIN_MATRIX_SPEEDUP,
+            },
+        },
+    }
+    OUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"forest predict: object {object_s:.3f} s, table {flat_s:.3f} s "
+          f"-> {forest_speedup:.1f}x (target >= {MIN_FOREST_SPEEDUP:.0f}x)")
+    print(f"similarity matrix: scalar {scalar_s:.3f} s, batched "
+          f"{batch_s:.3f} s -> {matrix_speedup:.1f}x "
+          f"(target >= {MIN_MATRIX_SPEEDUP:.0f}x) -> {OUT.name}")
+
+    return (_guard("forest_predict", forest_speedup,
+                   MIN_FOREST_SPEEDUP, previous)
+            or _guard("similarity_matrix", matrix_speedup,
+                      MIN_MATRIX_SPEEDUP, previous))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,29 @@ _PER_UE_NAMES = frozenset({
     "ue", "ctx", "context", "demand", "grant", "record", "allocation",
 })
 
+#: Modules whose *inference* hot path is vectorised (flattened forest
+#: descent, batched DTW wavefront, chunked kNN voting): per-tree or
+#: per-row work there belongs in array operations over the stacked
+#: node tables / pair batches.  Same contract as
+#: :data:`VECTORIZED_HOT_PATHS` — the baseline stays empty and a loop
+#: that must stay scalar carries ``# repro: noqa[PAR005]`` with a
+#: justification.
+INFERENCE_HOT_PATHS = frozenset({
+    "repro.ml.tables",
+    "repro.ml.tree",
+    "repro.ml.forest",
+    "repro.ml.knn",
+    "repro.ml.dtw",
+    "repro.core.correlation",
+})
+
+#: Loop-variable names that signal per-tree / per-row / per-pair
+#: iteration in the inference plane.
+_PER_PREDICTION_NAMES = frozenset({
+    "tree", "row", "sample", "pair", "cell", "vote", "neighbour",
+    "neighbor",
+})
+
 
 @register
 class UnpicklableWorkRule(Rule):
@@ -198,3 +221,50 @@ class PerUELoopRule(Rule):
                     f"batch it with array operations over the UE "
                     f"columns, or justify the scalar path with "
                     f"`# repro: noqa[PAR004]`")
+
+
+@register
+class PerPredictionLoopRule(Rule):
+    """PAR005: no per-tree/per-row Python loops in inference modules.
+
+    The inference plane is array programs — flattened node tables
+    descend all trees × all rows at once, the DTW wavefront scores a
+    whole chunk of pairs per diagonal, kNN votes with one bincount per
+    block.  A Python loop over trees, rows, samples, pairs or votes in
+    these modules re-introduces interpreter cost on the prediction hot
+    path, and only a benchmark regression would catch it.  Loops are
+    recognised by their loop-variable names (``tree``, ``row``,
+    ``pair``, ``vote``, ...) or by iterating a ``.trees_`` attribute.
+
+    Legitimate scalar loops — IEEE accumulation-order parity with a
+    legacy path, scalar reference implementations the golden suites
+    pin against — carry an inline ``# repro: noqa[PAR005]`` with a
+    justification; the baseline stays empty.
+    """
+
+    id = "PAR005"
+    family = "parallel"
+    title = "per-tree/per-row Python loop in a vectorized inference module"
+    node_types = (ast.For,)
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.dotted in INFERENCE_HOT_PATHS
+
+    def check(self, node: ast.For,
+              module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        per_prediction = sorted(_PER_PREDICTION_NAMES
+                                & names_in(node.target))
+        if per_prediction:
+            yield node, (
+                f"loop over `{per_prediction[0]}` iterates per "
+                f"prediction in a vectorized inference module — batch "
+                f"it over the stacked node tables / pair arrays, or "
+                f"justify the scalar path with `# repro: noqa[PAR005]`")
+            return
+        iterated = node.iter
+        if isinstance(iterated, ast.Attribute) and iterated.attr == "trees_":
+            yield node, (
+                "loop over `.trees_` walks the forest tree by tree in "
+                "a vectorized inference module — descend the stacked "
+                "ForestTable instead, or justify the scalar path with "
+                "`# repro: noqa[PAR005]`")

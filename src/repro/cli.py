@@ -9,8 +9,10 @@ harness:
 * ``classify`` — fingerprint a trace file with a freshly trained model;
 * ``experiment`` — regenerate a paper table/figure by name;
 * ``bench`` — run the component micro-benchmarks once (timings off),
-  or ``bench sim`` for the legacy-vs-vector simulator engine benchmark
-  (writes ``BENCH_simulator.json``, enforces the speedup floor);
+  ``bench sim`` for the legacy-vs-vector simulator engine benchmark
+  (writes ``BENCH_simulator.json``, enforces the speedup floor), or
+  ``bench infer`` for the inference-plane benchmark (flattened forest
+  descent + batched DTW matrix, writes ``BENCH_inference.json``);
 * ``cache`` — inspect or clear the on-disk trace cache;
 * ``report`` — render JSONL run manifests written by ``--obs-out``;
 * ``lint`` — run the repo's static-analysis ruleset (determinism,
@@ -142,10 +144,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run component micro-benchmarks once (timings off)")
     bench.add_argument("suite", nargs="?", default="components",
-                       choices=("components", "sim"),
+                       choices=("components", "sim", "infer"),
                        help="'components' (default) runs the pytest "
                             "micro-benchmarks; 'sim' runs the simulator "
-                            "engine benchmark with its speedup guard")
+                            "engine benchmark with its speedup guard; "
+                            "'infer' runs the inference-plane benchmark "
+                            "(flattened forest + batched DTW)")
     bench.add_argument("--select", default=None,
                        help="pytest -k expression to pick benchmarks")
     _add_runtime_args(bench)
@@ -358,11 +362,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     (``benchmarks/bench_simulator.py``) in a subprocess: it times the
     legacy vs vector TTI loop, records ``BENCH_simulator.json`` at the
     repo root, and exits non-zero if the speedup falls below its floor.
+    ``bench infer`` does the same for the inference plane
+    (``benchmarks/bench_inference.py``): flattened-forest predict vs
+    the object descent and the batched similarity matrix vs its scalar
+    reference, recorded in ``BENCH_inference.json``.
     """
-    if getattr(args, "suite", "components") == "sim":
+    standalone = {"sim": "bench_simulator.py", "infer": "bench_inference.py"}
+    suite = getattr(args, "suite", "components")
+    if suite in standalone:
         import subprocess
         bench_script = Path(__file__).resolve().parents[2] \
-            / "benchmarks" / "bench_simulator.py"
+            / "benchmarks" / standalone[suite]
         if not bench_script.exists():
             print(f"benchmark not found at {bench_script}", file=sys.stderr)
             return 1

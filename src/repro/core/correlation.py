@@ -17,6 +17,7 @@ verdict of Table VII:
 from __future__ import annotations
 
 import functools
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -24,7 +25,7 @@ import numpy as np
 
 from .. import obs, runtime
 from ..lte.dci import Direction
-from ..ml.dtw import similarity_score
+from ..ml.dtw import similarity_score, similarity_score_batch
 from ..ml.logistic import BinaryLogisticRegression
 from ..sniffer.trace import Trace
 from .features import volume_series
@@ -170,37 +171,105 @@ class CorrelationAttack:
 
 def _matrix_cell(pair: Tuple[int, int], *, traces: List[Trace],
                  bin_s: float, dtw_window: Optional[int]) -> float:
-    """ParallelMap work function: similarity of one (i, j) cell."""
+    """Scalar reference: similarity of one (i, j) cell, from raw traces.
+
+    One ``CorrelationAttack`` per cell, re-binning both traces — the
+    pre-batching work function, kept as the differential-test and
+    benchmark baseline for :func:`similarity_matrix`.
+    """
     i, j = pair
     attack = CorrelationAttack(bin_s=bin_s, dtw_window=dtw_window)
     return attack.similarity(traces[i], traces[j])
 
 
+def _bin_volume_series(trace: Trace, bin_s: float
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """The (uplink, downlink) per-bin frame series of one trace."""
+    return (volume_series(trace, bin_s, direction=Direction.UPLINK,
+                          value="frames"),
+            volume_series(trace, bin_s, direction=Direction.DOWNLINK,
+                          value="frames"))
+
+
+def _score_cells(chunk: Sequence[Tuple[int, int]], *,
+                 up: List[np.ndarray], down: List[np.ndarray],
+                 dtw_window: Optional[int]) -> List[float]:
+    """ParallelMap work function: one *chunk* of (i, j) cells at once.
+
+    Receives the pre-binned volume series (not Trace objects), packs
+    the chunk's cross-direction comparisons into two batched DTW
+    calls, and reassembles per-cell scores.  Empty-series handling
+    mirrors ``CorrelationAttack.score_pair`` exactly: a silent user
+    zeroes the whole cell, a silent *direction* zeroes only that
+    directional term.
+    """
+    forward = np.zeros(len(chunk), dtype=np.float64)
+    backward = np.zeros(len(chunk), dtype=np.float64)
+    forward_pairs, forward_slots = [], []
+    backward_pairs, backward_slots = [], []
+    for slot, (i, j) in enumerate(chunk):
+        if (len(up[i]) + len(down[i]) == 0
+                or len(up[j]) + len(down[j]) == 0):
+            continue                       # whole cell stays 0.0
+        if len(up[i]) and len(down[j]):
+            forward_pairs.append((up[i], down[j]))
+            forward_slots.append(slot)
+        if len(down[i]) and len(up[j]):
+            backward_pairs.append((down[i], up[j]))
+            backward_slots.append(slot)
+    if forward_pairs:
+        forward[forward_slots] = similarity_score_batch(
+            forward_pairs, window=dtw_window)
+    if backward_pairs:
+        backward[backward_slots] = similarity_score_batch(
+            backward_pairs, window=dtw_window)
+    return (0.5 * (forward + backward)).tolist()
+
+
 def similarity_matrix(traces: Sequence[Trace], bin_s: float = 1.0,
                       dtw_window: Optional[int] = 3,
-                      workers: Optional[int] = None) -> np.ndarray:
+                      workers: Optional[int] = None,
+                      chunk_size: Optional[int] = None) -> np.ndarray:
     """All-pairs DTW similarity of a set of user traces.
 
     This is the scanning attacker's workload: given every user seen on
     a cell, score every candidate pairing (the §VII-C similarity
     calculation) to shortlist who is talking to whom.  The headline
     score is symmetric (it averages both cross-direction comparisons),
-    so only the upper triangle including the diagonal is computed —
-    fanned out over the runtime's ParallelMap, reassembled by index,
-    and therefore identical for any worker count.
+    so only the upper triangle including the diagonal is computed.
+
+    Each trace is binned into its volume series exactly once, up
+    front; workers receive plain arrays, never Trace objects.  Cells
+    fan out in contiguous *chunks* over ``ParallelMap.map_batched``,
+    and every chunk runs one batched multi-pair DTW wavefront instead
+    of a Python recurrence per cell.  Scores are reassembled by index
+    and bit-identical to the scalar per-cell path for any worker count
+    and any ``chunk_size``.
     """
     n = len(traces)
-    trace_list = list(traces)
-    pairs = [(i, j) for i in range(n) for j in range(i, n)]
-    work = functools.partial(_matrix_cell, traces=trace_list, bin_s=bin_s,
+    series = [_bin_volume_series(trace, bin_s) for trace in traces]
+    up = [pair[0] for pair in series]
+    down = [pair[1] for pair in series]
+    rows, cols = np.triu_indices(n)
+    pairs = list(zip(rows.tolist(), cols.tolist()))
+    mapper = runtime.mapper(workers)
+    if chunk_size is None:
+        # Four chunks per worker, the runtime's oversubscription ratio;
+        # floor of 32 cells so the batched kernel has real fan-in.
+        chunk_size = max(32, math.ceil(len(pairs) / (mapper.workers * 4)))
+    chunks = [pairs[start:start + chunk_size]
+              for start in range(0, len(pairs), chunk_size)]
+    work = functools.partial(_score_cells, up=up, down=down,
                              dtw_window=dtw_window)
     with obs.span("dtw.similarity_matrix"):
         obs.counter("ml.dtw.pairs_scored").inc(len(pairs))
-        values = runtime.mapper(workers).map(work, pairs)
+        scored = mapper.map_batched(work, chunks)
     matrix = np.zeros((n, n), dtype=np.float64)
-    for (i, j), value in zip(pairs, values):
-        matrix[i, j] = value
-        matrix[j, i] = value
+    if pairs:
+        values = np.concatenate([np.asarray(chunk, dtype=np.float64)
+                                 for chunk in scored])
+        matrix[rows, cols] = values
+        matrix[cols, rows] = values
     return matrix
 
 

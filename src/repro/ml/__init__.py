@@ -10,7 +10,8 @@ cross-validation utilities.
 from .base import Classifier, LabelEncoder, check_fit_inputs
 from .crossval import (cross_validate, k_fold_indices, train_test_split,
                        tune_knn_k)
-from .dtw import dtw_alignment, dtw_distance, similarity_score
+from .dtw import (dtw_alignment, dtw_distance, dtw_distance_batch,
+                  similarity_score, similarity_score_batch)
 from .forest import RandomForest
 from .knn import KNearestNeighbors
 from .logistic import (BinaryLogisticRegression, LogisticRegression, softmax)
@@ -19,17 +20,22 @@ from .metrics import (ClassScores, accuracy, classification_report,
                       weighted_accuracy, weighted_f_score)
 from .neural import ConvNet
 from .persistence import (forest_from_dict, forest_to_dict, load_forest,
-                          save_forest, tree_from_dict, tree_to_dict)
+                          load_forest_npz, save_forest, save_forest_npz,
+                          tree_from_dict, tree_to_dict)
+from .tables import ForestTable, TreeTable
 from .tree import DecisionTree
 
 __all__ = [
     "BinaryLogisticRegression", "ClassScores", "Classifier", "ConvNet",
-    "DecisionTree", "KNearestNeighbors", "LabelEncoder",
-    "LogisticRegression", "RandomForest", "accuracy", "check_fit_inputs",
+    "DecisionTree", "ForestTable", "KNearestNeighbors", "LabelEncoder",
+    "LogisticRegression", "RandomForest", "TreeTable", "accuracy",
+    "check_fit_inputs",
     "classification_report", "confusion_matrix", "cross_validate",
-    "dtw_alignment", "dtw_distance", "forest_from_dict", "forest_to_dict",
-    "k_fold_indices", "load_forest", "macro_f_score",
-    "per_class_scores", "save_forest", "similarity_score", "softmax",
+    "dtw_alignment", "dtw_distance", "dtw_distance_batch",
+    "forest_from_dict", "forest_to_dict",
+    "k_fold_indices", "load_forest", "load_forest_npz", "macro_f_score",
+    "per_class_scores", "save_forest", "save_forest_npz",
+    "similarity_score", "similarity_score_batch", "softmax",
     "train_test_split", "tree_from_dict", "tree_to_dict",
     "tune_knn_k", "weighted_accuracy", "weighted_f_score",
 ]

@@ -18,7 +18,7 @@ for the calculation (§VII-C).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -125,6 +125,104 @@ def _dtw_wavefront(a: np.ndarray, b: np.ndarray, window: int) -> float:
             prev1[lo:hi + 1])
         current[lo:hi + 1] = cost + best
     return float(buffers[(n + m) % 3][n])
+
+
+def dtw_distance_batch(pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+                       window: Optional[int] = None) -> np.ndarray:
+    """Accumulated DTW distance of many series pairs at once.
+
+    The correlation attack's ``similarity_matrix`` scores every
+    candidate user pairing on a cell — thousands of independent DTW
+    problems with one band setting.  This kernel runs the existing
+    anti-diagonal wavefront across all of them simultaneously: cells
+    live in stacked ``(pairs, diag)`` buffers, one elementwise
+    add/min per anti-diagonal advances every pair's recurrence, and a
+    per-pair Sakoe-Chiba mask keeps off-band (and out-of-matrix) cells
+    at ``inf``.  Each in-band cell evaluates the exact IEEE add + min
+    of Eq. 1, so every returned distance is bit-identical to
+    ``dtw_distance(a, b, window=window)`` on that pair alone — for any
+    mix of lengths, any band width (including ``window=0``), and
+    either scalar strategy the single-pair path would have picked.
+    """
+    if window is not None and window < 0:
+        raise ValueError(f"window must be >= 0: {window}")
+    series_a = [np.asarray(a, dtype=np.float64).ravel() for a, _ in pairs]
+    series_b = [np.asarray(b, dtype=np.float64).ravel() for _, b in pairs]
+    count = len(series_a)
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    n = np.array([len(a) for a in series_a], dtype=np.int64)
+    m = np.array([len(b) for b in series_b], dtype=np.int64)
+    if n.min() == 0 or m.min() == 0:
+        raise ValueError("DTW requires non-empty series")
+    if window is None:
+        effective = np.maximum(n, m)
+    else:
+        effective = np.maximum(window, np.abs(n - m))
+    max_n = int(n.max())
+    max_m = int(m.max())
+    # Right-padded value matrices; padding cells are masked off-band.
+    A = np.zeros((count, max_n), dtype=np.float64)
+    B = np.zeros((count, max_m), dtype=np.float64)
+    for slot in range(count):
+        A[slot, :n[slot]] = series_a[slot]
+        B[slot, :m[slot]] = series_b[slot]
+
+    inf = np.inf
+    buffers = np.full((3, count, max_n + 1), inf)
+    buffers[0, :, 0] = 0.0                   # D[0, 0] per pair
+    results = np.zeros(count, dtype=np.float64)
+    i_values = np.arange(1, max_n + 1)
+    pair_index = np.arange(count)[:, None]
+    ones = np.ones(count, dtype=np.int64)
+    for s in range(2, max_n + max_m + 1):
+        current = buffers[s % 3]
+        prev1 = buffers[(s - 1) % 3]
+        prev2 = buffers[(s - 2) % 3]
+        # Per-pair band bounds on this anti-diagonal (also clip to the
+        # pair's own matrix, so padded rows/columns never compute).
+        lo = np.maximum(np.maximum(ones, s - m), (s - effective + 1) // 2)
+        hi = np.minimum(np.minimum(n, s - 1), (s + effective) // 2)
+        current[:] = inf
+        left = int(lo.min())
+        right = int(max(hi.max(), left))
+        span = slice(left, right + 1)        # buffer indices == i
+        i_span = i_values[left - 1:right]
+        mask = (i_span >= lo[:, None]) & (i_span <= hi[:, None])
+        j_span = np.clip(s - i_span - 1, 0, max_m - 1)
+        cost = np.abs(B[pair_index, j_span] - A[:, left - 1:right])
+        best = np.minimum(
+            np.minimum(prev2[:, left - 1:right], prev1[:, left - 1:right]),
+            prev1[:, span])
+        current[:, span] = np.where(mask, cost + best, inf)
+        done = (n + m) == s
+        if done.any():
+            results[done] = current[done, n[done]]
+    return results
+
+
+def similarity_score_batch(pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+                           window: Optional[int] = None) -> np.ndarray:
+    """Batched :func:`similarity_score` — one score per pair.
+
+    Normalisation mirrors the scalar path operation for operation
+    (path-length × mean-absolute-level scale, then ``1 / (1 + d)``),
+    so each score is bit-identical to ``similarity_score(a, b)``.
+    """
+    series: List[Tuple[np.ndarray, np.ndarray]] = [
+        (np.asarray(a, dtype=np.float64).ravel(),
+         np.asarray(b, dtype=np.float64).ravel()) for a, b in pairs]
+    if not series:
+        return np.zeros(0, dtype=np.float64)
+    distances = dtw_distance_batch(series, window=window)
+    scales = np.array([(np.mean(np.abs(a)) + np.mean(np.abs(b))) / 2.0
+                       for a, b in series], dtype=np.float64)
+    lengths = np.array([dtw_path_length(len(a), len(b))
+                        for a, b in series], dtype=np.float64)
+    flat = scales == 0
+    denominator = np.where(flat, 1.0, lengths * scales)
+    scores = 1.0 / (1.0 + distances / denominator)
+    return np.where(flat, np.where(distances == 0.0, 1.0, 0.0), scores)
 
 
 def dtw_path_length(n: int, m: int) -> int:

@@ -16,6 +16,7 @@ import numpy as np
 
 from .. import obs, runtime
 from .base import Classifier, check_fit_inputs
+from .tables import ForestTable
 from .tree import DecisionTree
 
 
@@ -60,6 +61,7 @@ class RandomForest(Classifier):
         self.seed = seed
         self.workers = workers
         self.trees_: List[DecisionTree] = []
+        self._table: Optional[ForestTable] = None
         self.n_classes_: int = 0
 
     def fit(self, X: np.ndarray, y: np.ndarray,
@@ -80,32 +82,78 @@ class RandomForest(Classifier):
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features)
             self.trees_ = runtime.mapper(self.workers).map(work, tasks)
+            self._table = None
             obs.counter("ml.forest.trees_fit").inc(self.n_trees)
         return self
 
+    # -- the stacked node table -------------------------------------------------------
+
+    def table(self) -> ForestTable:
+        """All member trees as one padded node-table stack (cached).
+
+        Compiled lazily on the first prediction, so fitting in pool
+        workers never pickles the redundant flat layout back.
+        """
+        if self._table is None:
+            if not self.trees_:
+                raise RuntimeError("forest is not fitted")
+            self._table = ForestTable.from_trees(
+                [tree.to_table() for tree in self.trees_])
+        return self._table
+
+    @classmethod
+    def from_table(cls, table: ForestTable, seed: int = 1) -> "RandomForest":
+        """A prediction-ready forest over an existing node-table stack.
+
+        The object trees are *not* materialised — the table may be a
+        read-only ``np.memmap`` view of an NPZ artefact, and prediction
+        only gathers from it.  Use :meth:`materialize_trees` when the
+        fit-side representation is needed.
+        """
+        forest = cls(n_trees=table.n_trees, seed=seed)
+        forest.n_classes_ = table.n_classes
+        forest._table = table
+        return forest
+
+    def materialize_trees(self) -> List[DecisionTree]:
+        """Rebuild (and install) the object trees from the node table."""
+        if not self.trees_:
+            table = self.table()
+            self.trees_ = [DecisionTree.from_table(table.tree(index))
+                           for index in range(table.n_trees)]
+        return self.trees_
+
+    # -- inference -------------------------------------------------------------------
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_ and self._table is None:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        table = self.table()
+        if X.ndim != 2 or X.shape[1] != table.n_features:
+            raise ValueError(
+                f"X must have shape (n, {table.n_features}), got {X.shape}")
+        return table.predict_proba_sum(X) / self.n_trees
+
+    def _predict_proba_object(self, X: np.ndarray) -> np.ndarray:
+        """Legacy per-tree object descent — the differential reference."""
         if not self.trees_:
             raise RuntimeError("forest is not fitted")
         X = np.asarray(X, dtype=np.float64)
         total = np.zeros((len(X), self.n_classes_), dtype=np.float64)
-        for tree in self.trees_:
-            total += tree.predict_proba(X)
+        for tree in self.trees_:  # repro: noqa[PAR005] — reference path the golden suites pin the table descent against
+            total += tree._predict_proba_nodes(X)
         return total / self.n_trees
 
     def feature_importances(self) -> np.ndarray:
-        """Crude importance: how often each feature is used for a split."""
-        if not self.trees_:
+        """Crude importance: how often each feature is used for a split.
+
+        Derived from the public flattened node tables — a bincount over
+        every tree's split-feature column — instead of walking private
+        ``_Node`` graphs.
+        """
+        if not self.trees_ and self._table is None:
             raise RuntimeError("forest is not fitted")
-        counts = np.zeros(self.trees_[0].n_features_, dtype=np.float64)
-        # Iterative walk: unlimited-depth trees can exceed the Python
-        # recursion limit.
-        stack = [tree._root for tree in self.trees_]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                continue
-            counts[node.feature] += 1
-            stack.append(node.left)
-            stack.append(node.right)
+        counts = self.table().split_counts()
         total = counts.sum()
         return counts / total if total else counts

@@ -17,6 +17,7 @@ from typing import Optional, Union
 import numpy as np
 
 from .base import Classifier, check_fit_inputs
+from .tables import LEAF, TreeTable
 
 
 @dataclass
@@ -85,6 +86,7 @@ class DecisionTree(Classifier):
         self.max_features = max_features
         self.seed = seed
         self._root: Optional[_Node] = None
+        self._table: Optional[TreeTable] = None
         self.n_classes_: int = 0
         self.n_features_: int = 0
 
@@ -106,6 +108,7 @@ class DecisionTree(Classifier):
         self._idx = np.arange(len(y), dtype=np.intp)
         self._scratch = np.empty(len(y), dtype=np.intp)
         self._root = self._build(0, len(y), depth=0)
+        self._table = None
         del self._X, self._y, self._idx, self._scratch
         return self
 
@@ -220,6 +223,71 @@ class DecisionTree(Classifier):
                 best = (feature, float(threshold))
         return best
 
+    # -- the flattened node table -----------------------------------------------------
+
+    def to_table(self) -> TreeTable:
+        """Compile the fitted tree into a flat node table.
+
+        Layout: preorder (parent before children, left subtree before
+        right), root at index 0 — deterministic, so serialising the
+        table and rebuilding via :meth:`from_table` round-trips
+        exactly.  Iterative, so unlimited-depth trees cannot blow the
+        recursion limit.
+        """
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        entries = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            entries.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)   # left pops (and indexes) first
+                stack.append(node.left)
+        index = {id(node): slot for slot, node in enumerate(entries)}
+        count = len(entries)
+        features = np.full(count, LEAF, dtype=np.int64)
+        thresholds = np.zeros(count, dtype=np.float64)
+        left = np.zeros(count, dtype=np.int64)
+        right = np.zeros(count, dtype=np.int64)
+        leaf_proba = np.zeros((count, self.n_classes_), dtype=np.float64)
+        for slot, node in enumerate(entries):
+            leaf_proba[slot] = node.distribution
+            if not node.is_leaf:
+                features[slot] = node.feature
+                thresholds[slot] = node.threshold
+                left[slot] = index[id(node.left)]
+                right[slot] = index[id(node.right)]
+        return TreeTable(features=features, thresholds=thresholds,
+                         left=left, right=right, leaf_proba=leaf_proba,
+                         n_features=self.n_features_)
+
+    @classmethod
+    def from_table(cls, table: TreeTable) -> "DecisionTree":
+        """Rebuild the object tree from a flat node table."""
+        table.validate()
+        count = table.n_nodes
+        nodes = [_Node(distribution=np.array(table.leaf_proba[slot]),
+                       feature=int(table.features[slot]),
+                       threshold=float(table.thresholds[slot]))
+                 for slot in range(count)]
+        for slot, node in enumerate(nodes):
+            if not node.is_leaf:
+                node.left = nodes[int(table.left[slot])]
+                node.right = nodes[int(table.right[slot])]
+        tree = cls()
+        tree.n_classes_ = table.n_classes
+        tree.n_features_ = table.n_features
+        tree._root = nodes[0]
+        tree._table = table
+        return tree
+
+    def table(self) -> TreeTable:
+        """The flattened node table (compiled once, then cached)."""
+        if self._table is None:
+            self._table = self.to_table()
+        return self._table
+
     # -- inference -------------------------------------------------------------------
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -229,8 +297,22 @@ class DecisionTree(Classifier):
         if X.ndim != 2 or X.shape[1] != self.n_features_:
             raise ValueError(
                 f"X must have shape (n, {self.n_features_}), got {X.shape}")
+        return self.table().predict_proba(X)
+
+    def _predict_proba_nodes(self, X: np.ndarray) -> np.ndarray:
+        """Legacy object-graph descent — the differential-test reference.
+
+        Routes index groups down the pointer tree exactly as the
+        pre-table implementation did; the golden suites pin
+        :meth:`predict_proba` bit-identical to this path.
+        """
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_}), got {X.shape}")
         out = np.empty((len(X), self.n_classes_), dtype=np.float64)
-        # Iterative batched descent: route index groups down the tree.
         stack = [(self._root, np.arange(len(X)))]
         while stack:
             node, idx = stack.pop()

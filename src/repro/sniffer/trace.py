@@ -187,9 +187,12 @@ def _mmap_npz_columns(path: Path, names: Sequence[str],
     zip members, so the mapping is done by hand: each ``<name>.npy``
     member written by ``np.savez`` is stored (not deflated), its array
     data sitting contiguously in the archive after the local ZIP header
-    and the ``.npy`` header.  Returns ``None`` when any member is
-    compressed or uses an unknown ``.npy`` format version — callers
-    fall back to a normal copying load.
+    and the ``.npy`` header.  Works for C-order arrays of any
+    dimensionality — the trace lane maps 1-D columns, the model lane
+    (:mod:`repro.ml.persistence`) maps stacked 2-D/3-D node tables.
+    Returns ``None`` when any member is compressed, Fortran-ordered,
+    or uses an unknown ``.npy`` format version — callers fall back to
+    a normal copying load.
     """
     arrays: Dict[str, np.ndarray] = {}
     with zipfile.ZipFile(path) as archive:
@@ -208,15 +211,26 @@ def _mmap_npz_columns(path: Path, names: Sequence[str],
                     return None
                 shape, fortran_order, dtype = reader(handle)
                 header_size = handle.tell()
-            if len(shape) != 1 or fortran_order:
+            if fortran_order:
                 return None
-            if shape[0] == 0:
+            if any(side == 0 for side in shape):
                 arrays[name] = np.empty(shape, dtype=dtype)
                 continue
             offset = _npz_member_offset(path, info) + header_size
             arrays[name] = np.memmap(path, dtype=dtype, mode=mmap_mode,
                                      offset=offset, shape=shape)
     return arrays
+
+
+def mmap_npz_arrays(path: Path, names: Sequence[str],
+                    mmap_mode: str = "r") -> Optional[Dict[str, np.ndarray]]:
+    """Public entry to the uncompressed-NPZ memory-mapping fast path.
+
+    Same contract as the internal helper: ``None`` signals "fall back
+    to ``np.load``" (compressed member, foreign format), never an
+    exception for a well-formed archive.
+    """
+    return _mmap_npz_columns(Path(path), names, mmap_mode)
 
 
 def _load_npz_meta(path: Path) -> str:

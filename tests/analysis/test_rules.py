@@ -356,6 +356,65 @@ def test_par004_noqa_suppresses_justified_scalar_loop():
     assert rules_fired(src, _ENGINE) == []
 
 
+# -- PAR005: per-prediction loops in vectorized inference modules -----------------
+
+_FOREST = Path("repro/ml/forest.py")
+_DTW = Path("repro/ml/dtw.py")
+
+
+def test_par005_positive_loop_over_trees():
+    src = ("def predict(self, X):\n"
+           "    for tree in self.trees_:\n"
+           "        total += tree.predict_proba(X)\n")
+    assert rules_fired(src, _FOREST) == ["PAR005"]
+
+
+def test_par005_positive_loop_over_pairs():
+    src = ("def score(pairs):\n"
+           "    out = []\n"
+           "    for pair in pairs:\n"
+           "        out.append(dtw_distance(*pair))\n"
+           "    return out\n")
+    assert rules_fired(src, _DTW) == ["PAR005"]
+
+
+def test_par005_positive_trees_attribute_iteration():
+    src = ("def importances(self):\n"
+           "    for fitted in self.trees_:\n"
+           "        counts += fitted.split_counts()\n")
+    assert rules_fired(src, _FOREST) == ["PAR005"]
+
+
+def test_par005_negative_vectorised_descent():
+    src = ("import numpy as np\n"
+           "def descend(self, X):\n"
+           "    node = np.zeros((self.n_trees, len(X)), dtype=np.intp)\n"
+           "    return self.leaf_proba[node]\n")
+    assert rules_fired(src, _FOREST) == []
+
+
+def test_par005_negative_non_prediction_loop():
+    src = ("def validate(self):\n"
+           "    for name in ('left', 'right'):\n"
+           "        check(getattr(self, name))\n")
+    assert rules_fired(src, _FOREST) == []
+
+
+def test_par005_negative_outside_inference_modules():
+    src = ("def walk(rows):\n"
+           "    for row in rows:\n"
+           "        row.emit()\n")
+    assert rules_fired(src, GENERIC) == []
+
+
+def test_par005_noqa_suppresses_justified_scalar_loop():
+    src = ("def accumulate(self, leaves):\n"
+           "    for tree in range(self.n_trees):"
+           "  # repro: noqa[PAR005] — IEEE accumulation order parity\n"
+           "        total += self.leaf_proba[tree, leaves[tree]]\n")
+    assert rules_fired(src, _FOREST) == []
+
+
 # -- OBS001: @obs.timed on experiment drivers -------------------------------------
 
 _EXPERIMENT = Path("repro/experiments/table9_new.py")
@@ -421,7 +480,7 @@ def test_ruleset_covers_all_four_families():
 
 @pytest.mark.parametrize("rule_id", [
     "DET001", "DET002", "DET003", "DET004", "NUM001", "NUM002", "NUM003",
-    "PAR001", "PAR002", "PAR003", "PAR004", "OBS001", "OBS002",
+    "PAR001", "PAR002", "PAR003", "PAR004", "PAR005", "OBS001", "OBS002",
 ])
 def test_every_shipped_rule_is_registered(rule_id):
     from repro.analysis import all_rules

@@ -1,0 +1,104 @@
+"""Golden equivalence: batched DTW wavefront vs the scalar kernels.
+
+``dtw_distance_batch`` runs many (a, b) pairs through one stacked
+anti-diagonal recurrence; every distance must be **bit-identical**
+(``==``, not ``pytest.approx``) to ``dtw_distance`` on that pair alone
+— the correlation attack's scores feed threshold comparisons, so even
+low-bit drift would flip verdicts between the batched and scalar
+paths.  Windows cover unbanded, zero, narrow, exactly-|n-m|, and
+wider-than-matrix bands; lengths cover equal, mismatched, and
+single-sample series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.dtw import (dtw_distance, dtw_distance_batch,
+                          similarity_score, similarity_score_batch)
+
+
+def _random_pairs(count=12, seed=0, lo=1, hi=60):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        n = int(rng.integers(lo, hi))
+        m = int(rng.integers(lo, hi))
+        pairs.append((rng.normal(size=n) * 10, rng.normal(size=m) * 10))
+    return pairs
+
+
+class TestDtwDistanceBatch:
+    @pytest.mark.parametrize("window", [None, 0, 1, 3, 7, 200])
+    def test_bit_identical_to_scalar(self, window):
+        pairs = _random_pairs(seed=window if window is not None else 99)
+        batched = dtw_distance_batch(pairs, window=window)
+        for slot, (a, b) in enumerate(pairs):
+            assert batched[slot] == dtw_distance(a, b, window=window)
+
+    def test_mixed_lengths_one_batch(self):
+        rng = np.random.default_rng(5)
+        pairs = [(rng.normal(size=1), rng.normal(size=1)),
+                 (rng.normal(size=1), rng.normal(size=50)),
+                 (rng.normal(size=50), rng.normal(size=1)),
+                 (rng.normal(size=37), rng.normal(size=53))]
+        for window in (None, 0, 2, 10):
+            batched = dtw_distance_batch(pairs, window=window)
+            for slot, (a, b) in enumerate(pairs):
+                assert batched[slot] == dtw_distance(a, b, window=window)
+
+    def test_window_narrower_than_length_gap(self):
+        # |n - m| > window: the band must widen to keep the corner
+        # reachable, exactly as the scalar kernel does.
+        a = np.arange(40, dtype=np.float64)
+        b = np.arange(8, dtype=np.float64)
+        assert dtw_distance_batch([(a, b)], window=2)[0] == \
+            dtw_distance(a, b, window=2)
+
+    def test_identical_series_zero(self):
+        a = np.random.default_rng(1).normal(size=30)
+        assert dtw_distance_batch([(a, a.copy())], window=3)[0] == 0.0
+
+    def test_empty_batch(self):
+        out = dtw_distance_batch([])
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            dtw_distance_batch([(np.zeros(0), np.ones(3))])
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            dtw_distance_batch([(np.ones(3), np.ones(3))], window=-1)
+
+    def test_single_pair_batch_equals_scalar(self):
+        a = np.array([1.0, 5.0, 2.0, 8.0])
+        b = np.array([2.0, 4.0, 9.0])
+        assert dtw_distance_batch([(a, b)])[0] == dtw_distance(a, b)
+
+
+class TestSimilarityScoreBatch:
+    @pytest.mark.parametrize("window", [None, 0, 3])
+    def test_bit_identical_to_scalar(self, window):
+        pairs = _random_pairs(seed=17, count=10)
+        batched = similarity_score_batch(pairs, window=window)
+        for slot, (a, b) in enumerate(pairs):
+            assert batched[slot] == similarity_score(a, b, window=window)
+
+    def test_zero_scale_edge_cases(self):
+        # All-zero series: scale collapses, the scalar path special-cases
+        # distance == 0 into a 1.0/0.0 verdict.
+        zero = np.zeros(5)
+        spike = np.array([0.0, 3.0, 0.0])
+        pairs = [(zero, zero.copy()), (zero, np.zeros(9)), (zero, spike)]
+        batched = similarity_score_batch(pairs, window=3)
+        for slot, (a, b) in enumerate(pairs):
+            assert batched[slot] == similarity_score(a, b, window=3)
+
+    def test_scores_bounded(self):
+        batched = similarity_score_batch(_random_pairs(seed=23))
+        assert np.all(batched >= 0.0)
+        assert np.all(batched <= 1.0)
+
+    def test_empty_batch(self):
+        assert similarity_score_batch([]).shape == (0,)
