@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-faults bench bench-features bench-smoke \
-	bench-lint bench-sim bench-infer clean-cache lint report
+	bench-lint bench-sim bench-infer bench-stream clean-cache lint report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -58,6 +58,14 @@ bench-sim:
 ## (cf. `lte-fingerprint bench infer`).
 bench-infer:
 	$(PYTHON) benchmarks/bench_inference.py
+
+## Streaming data-plane benchmark: sustained windowizer ingest (output
+## asserted bit-identical to extract_features, ring memory bounded) and
+## end-to-end service throughput with p99 window-close latency; writes
+## BENCH_stream.json and fails below the floors
+## (cf. `lte-fingerprint bench stream`).
+bench-stream:
+	$(PYTHON) benchmarks/bench_stream.py
 
 ## Drop every entry from the on-disk trace cache.
 clean-cache:

@@ -7,6 +7,10 @@ harness:
 * ``train`` — train the hierarchical fingerprinter on a trace dir and
   report held-out window scores;
 * ``classify`` — fingerprint a trace file with a freshly trained model;
+* ``serve`` — run the streaming attack service (:mod:`repro.stream`)
+  over NPZ/JSONL/CSV trace sources or a live city-sim feed, writing
+  JSONL per-window verdicts, per-source trace verdicts, and fused
+  multi-cell judgements;
 * ``experiment`` — regenerate a paper table/figure by name;
 * ``bench`` — run the component micro-benchmarks once (timings off),
   ``bench sim`` for the legacy-vs-vector simulator engine benchmark
@@ -19,6 +23,11 @@ harness:
   numeric safety, parallel/cache safety, obs coverage — see
   :mod:`repro.analysis`); exits non-zero on findings;
 * ``list`` — show registered apps, operators, and experiments.
+
+Exit codes follow one convention across subcommands: **2** for bad
+input (missing/malformed files, unknown names — the ``--faults``
+convention) and **1** for runtime failures (a stage raising after its
+inputs validated).
 
 Heavy commands take ``--workers`` (or ``REPRO_WORKERS``) to fan trace
 simulation / forest fitting out over processes, ``--no-cache`` /
@@ -117,7 +126,45 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trees", type=int, default=40)
     train.add_argument("--window-ms", type=float, default=100.0)
     train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--save-model", type=Path, default=None,
+                       metavar="MODEL.json",
+                       help="persist the fitted pipeline for "
+                            "'serve --model' / offline reuse")
     _add_runtime_args(train)
+
+    serve = sub.add_parser(
+        "serve", help="run the streaming attack service (repro.stream)")
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--data", type=Path, nargs="+", default=None,
+                        metavar="TRACE",
+                        help="trace sources (.npz / .jsonl / .csv), one "
+                             "feed per file")
+    source.add_argument("--sim", action="store_true",
+                        help="stream a live city-sim feed instead of "
+                             "recorded traces")
+    model_src = serve.add_mutually_exclusive_group(required=True)
+    model_src.add_argument("--model", type=Path, default=None,
+                           metavar="MODEL.json",
+                           help="fitted pipeline from 'train --save-model'")
+    model_src.add_argument("--train-data", type=Path, default=None,
+                           metavar="DIR",
+                           help="trace directory/.npz to train a fresh "
+                                "model from before serving")
+    serve.add_argument("--out", type=Path, default=None,
+                       metavar="VERDICTS.jsonl",
+                       help="JSONL verdict stream (default: stdout "
+                            "summary only)")
+    serve.add_argument("--chunk-records", type=int, default=256,
+                       help="records per ingest chunk")
+    serve.add_argument("--trees", type=int, default=40,
+                       help="forest size when training via --train-data")
+    serve.add_argument("--sim-cells", type=int, default=3,
+                       help="city-sim cell count (with --sim)")
+    serve.add_argument("--sim-epochs", type=int, default=2,
+                       help="city-sim epochs (with --sim)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="city-sim seed (with --sim)")
+    _add_runtime_args(serve)
 
     classify = sub.add_parser("classify", help="fingerprint one trace")
     classify.add_argument("--data", type=Path, required=True,
@@ -144,12 +191,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run component micro-benchmarks once (timings off)")
     bench.add_argument("suite", nargs="?", default="components",
-                       choices=("components", "sim", "infer"),
+                       choices=("components", "sim", "infer", "stream"),
                        help="'components' (default) runs the pytest "
                             "micro-benchmarks; 'sim' runs the simulator "
                             "engine benchmark with its speedup guard; "
                             "'infer' runs the inference-plane benchmark "
-                            "(flattened forest + batched DTW)")
+                            "(flattened forest + batched DTW); 'stream' "
+                            "runs the streaming data-plane benchmark "
+                            "(sustained ingest + window-close latency)")
     bench.add_argument("--select", default=None,
                        help="pytest -k expression to pick benchmarks")
     _add_runtime_args(bench)
@@ -227,8 +276,10 @@ def _cmd_train(args: argparse.Namespace, manifest=None) -> int:
 
     traces = TraceSet.load(args.data)
     if not len(traces):
+        # Bad input, not a runtime failure: the --faults exit-code
+        # convention (2 = malformed/unusable input).
         print(f"no traces found in {args.data}", file=sys.stderr)
-        return 1
+        return 2
     config = WindowConfig(window_ms=args.window_ms)
     windows = windows_from_traces(traces, config)
     X_train, X_test, y_train, y_test = train_test_split(
@@ -248,6 +299,12 @@ def _cmd_train(args: argparse.Namespace, manifest=None) -> int:
     predictions = model.predict_apps(X_test)
     print(classification_report(y_test, predictions,
                                 windows.app_encoder.classes_))
+    if args.save_model is not None:
+        from .core.fingerprint import save_fingerprinter
+
+        args.save_model.parent.mkdir(parents=True, exist_ok=True)
+        save_fingerprinter(model, args.save_model)
+        print(f"saved model to {args.save_model}")
     if manifest is not None:
         from .ml.metrics import accuracy
 
@@ -272,19 +329,117 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     traces = TraceSet.load(args.data)
     if not len(traces):
         print(f"no traces found in {args.data}", file=sys.stderr)
-        return 1
+        return 2
     windows = windows_from_traces(traces)
     model = HierarchicalFingerprinter(n_trees=args.trees)
     model.fit(windows)
-    target = Trace.from_csv(args.trace)
+    try:
+        target = Trace.from_csv(args.trace)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
     verdict = model.classify_trace(target)
     if verdict is None:
         print("trace too short to classify", file=sys.stderr)
-        return 1
+        return 2
     print(verdict)
     if target.label:
         print(f"ground truth: {target.label} "
               f"({'correct' if target.label == verdict.app else 'WRONG'})")
+    return 0
+
+
+def _load_stream_trace(path: Path):
+    """Load one serve source by extension (.npz / .jsonl / .csv)."""
+    from .sniffer.trace import Trace
+
+    if path.suffix == ".npz":
+        return Trace.from_npz(path)
+    if path.suffix == ".jsonl":
+        return Trace.from_jsonl(path)
+    if path.suffix == ".csv":
+        return Trace.from_csv(path)
+    raise ValueError(f"unsupported trace format: {path.name} "
+                     "(expected .npz, .jsonl, or .csv)")
+
+
+def _serve_model(args: argparse.Namespace):
+    """Resolve the serve pipeline: a saved model or a fresh training run."""
+    from .core.fingerprint import load_fingerprinter
+
+    if args.model is not None:
+        return load_fingerprinter(args.model)
+    from .core.dataset import windows_from_traces
+    from .core.fingerprint import HierarchicalFingerprinter
+    from .sniffer.trace import TraceSet
+
+    traces = TraceSet.load(args.train_data)
+    if not len(traces):
+        raise ValueError(f"no traces found in {args.train_data}")
+    model = HierarchicalFingerprinter(n_trees=args.trees)
+    model.fit(windows_from_traces(traces))
+    return model
+
+
+def _serve_sources(args: argparse.Namespace):
+    """Resolve the serve feeds: recorded traces or a live city-sim run."""
+    if args.sim:
+        from .lte.city import CityScenario, run_city
+
+        scenario = CityScenario(n_cells=args.sim_cells,
+                                epochs=args.sim_epochs, seed=args.seed)
+        result = run_city(scenario)
+        return [(cell_id, result.traces[cell_id])
+                for cell_id in scenario.cell_ids()
+                if cell_id in result.traces]
+    sources = []
+    for path in args.data:
+        trace = _load_stream_trace(path)
+        sources.append((path.stem, trace))
+    return sources
+
+
+def _cmd_serve(args: argparse.Namespace, manifest=None) -> int:
+    """Drain trace sources through the streaming attack service."""
+    from .stream import StreamService
+
+    if args.chunk_records <= 0:
+        print(f"chunk-records must be positive: {args.chunk_records}",
+              file=sys.stderr)
+        return 2
+    try:
+        model = _serve_model(args)
+        sources = _serve_sources(args)
+        if not sources:
+            raise ValueError("no non-empty sources to serve")
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+    service = StreamService(model, sources,
+                            chunk_records=args.chunk_records,
+                            out_path=args.out)
+    report = service.run()
+    print(f"sources:        {len(sources)}")
+    print(f"records:        {report.records} "
+          f"({report.dropped} direction-dropped)")
+    print(f"windows closed: {report.windows}")
+    print(f"ring high-water: {report.ring_high_water} records")
+    print(f"close lag p99:  {report.lag_p99_s:.3f} s (event time)")
+    for name, _ in sources:
+        verdict = report.trace_verdicts.get(name)
+        print(f"  {name}: {verdict if verdict else '(no windows)'}")
+    for fused in report.fused:
+        print(f"  fused {fused}")
+    if args.out is not None:
+        print(f"verdicts written to {args.out}")
+    if manifest is not None:
+        manifest.set_result({
+            "sources": len(sources), "records": report.records,
+            "windows": report.windows,
+            "ring_high_water": report.ring_high_water,
+            "lag_p99_s": report.lag_p99_s})
     return 0
 
 
@@ -338,7 +493,7 @@ def _cmd_experiment(args: argparse.Namespace, manifest=None) -> int:
     if args.name not in _EXPERIMENTS:
         print(f"unknown experiment {args.name!r}; known: "
               f"{sorted(_EXPERIMENTS) + ['ablation']}", file=sys.stderr)
-        return 1
+        return 2
     module_name, func = _EXPERIMENTS[args.name]
     module = importlib.import_module(f".experiments.{module_name}",
                                      package="repro")
@@ -367,7 +522,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     the object descent and the batched similarity matrix vs its scalar
     reference, recorded in ``BENCH_inference.json``.
     """
-    standalone = {"sim": "bench_simulator.py", "infer": "bench_inference.py"}
+    standalone = {"sim": "bench_simulator.py",
+                  "infer": "bench_inference.py",
+                  "stream": "bench_stream.py"}
     suite = getattr(args, "suite", "components")
     if suite in standalone:
         import subprocess
@@ -425,11 +582,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if not args.path.exists():
         print(f"no manifest file at {args.path}", file=sys.stderr)
-        return 1
+        return 2
     lines = manifest_mod.read_manifests(args.path)
     if not lines:
         print(f"no runs recorded in {args.path}", file=sys.stderr)
-        return 1
+        return 2
     if args.last is not None:
         lines = lines[-args.last:]
     for index, line in enumerate(lines):
@@ -526,7 +683,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .obs.manifest import run_scope
 
     args = _build_parser().parse_args(argv)
-    if args.command in ("collect", "train", "experiment", "bench"):
+    if args.command in ("collect", "train", "experiment", "bench",
+                        "serve"):
         try:
             fault_plan = _load_fault_plan(args)
         except ValueError as exc:
@@ -541,6 +699,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _cmd_train(args, manifest)
             if args.command == "experiment":
                 return _cmd_experiment(args, manifest)
+            if args.command == "serve":
+                return _cmd_serve(args, manifest)
             return _cmd_bench(args)
     if args.command == "classify":
         return _cmd_classify(args)

@@ -21,6 +21,13 @@ are exact in float64 under any accumulation order; fractional sums use
 bit-identical to a record-at-a-time implementation that accumulates one
 record after another (the golden equivalence suite in
 ``tests/core/test_columnar_golden.py`` holds it to that, exactly).
+
+The per-window statistics kernel is shared with the streaming data
+plane: :func:`segment_feature_rows` consumes gathered segment columns
+plus the window-context columns, and :mod:`repro.stream` feeds it the
+same values from its ring buffer — which is why streaming a trace in
+arbitrary chunk sizes reproduces this module's output bit for bit
+(``tests/stream`` holds it to ``np.array_equal``).
 """
 
 from __future__ import annotations
@@ -129,86 +136,103 @@ def _segment_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
     return np.add.reduceat(values, starts)
 
 
-def extract_features(trace: Trace,
-                     config: Optional[WindowConfig] = None) -> np.ndarray:
-    """Per-window feature matrix for one trace, shape (n_windows, N_FEATURES).
+def gather_segments(lo: np.ndarray, hi: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flat gather indices for the ``[lo, hi)`` record segments.
 
-    Empty windows are skipped (the sniffer sees nothing there); the
-    silence they represent survives as the next window's
-    ``gap_since_prev`` feature, so sparse traffic — the messaging
-    signature — remains visible to the classifier.
+    Returns ``(flat, counts, offsets)``: indexing a column with ``flat``
+    yields segment k's records at ``offsets[k]:offsets[k+1]``.  Shared
+    by the batch path and the streaming windowizer so both gather in
+    the same element order (which the sequential ``bincount`` sums in
+    :func:`segment_feature_rows` depend on).
     """
-    config = config or WindowConfig()
-    if config.direction is not None:
-        trace = trace.direction_filtered(config.direction)
-    n = len(trace)
-    if n == 0:
-        return np.empty((0, N_FEATURES), dtype=np.float64)
-
-    times = trace.times_s
-    sizes = trace.tbs_bytes.astype(np.float64)
-    downs = (trace.directions == int(Direction.DOWNLINK))
-    rntis = trace.rntis
-
-    start = times[0]
-    end = times[-1]
-    window_s = config.window_ms / 1000.0
-    stride_s = config.effective_stride_ms / 1000.0
-
-    # All window bounds from two batched searchsorted calls.
-    win_start = _window_grid(float(start), float(end), stride_s)
-    win_end = win_start + window_s
-    lo = np.searchsorted(times, win_start, side="left")
-    hi = np.searchsorted(times, win_end, side="left")
-    nonempty = hi > lo
-    # Completeness gating (capture-loss degradation, see WindowConfig):
-    # windows that are too sparse or that straddle a capture gap are
-    # invalidated rather than fed to the classifier as if complete.  At
-    # the defaults (min_frames=1, gap_threshold_s=None) ``valid`` equals
-    # ``nonempty`` and the output is bit-identical to the gate's absence.
-    valid = nonempty
-    if config.min_frames > 1:
-        valid = valid & (hi - lo >= config.min_frames)
-    if config.gap_threshold_s is not None:
-        gap_index = np.flatnonzero(np.diff(times) > config.gap_threshold_s)
-        if len(gap_index):
-            gap_starts = times[gap_index]
-            gap_ends = times[gap_index + 1]
-            overlapping = (
-                np.searchsorted(gap_starts, win_end, side="left")
-                - np.searchsorted(gap_ends, win_start, side="right"))
-            valid = valid & (overlapping <= 0)
-    invalidated = int(np.count_nonzero(nonempty & ~valid))
-    if invalidated:
-        obs.counter("features.windows_invalidated").inc(invalidated)
-    if not valid.any():
-        return np.empty((0, N_FEATURES), dtype=np.float64)
-    win_start, win_end = win_start[valid], win_end[valid]
-    lo, hi = lo[valid], hi[valid]
-    m = len(lo)
     counts = hi - lo
-
-    # Gather per-(window, record) segments so overlapping strides work:
-    # segment k occupies rows offsets[k]:offsets[k+1] of the flat view.
+    m = len(counts)
     offsets = np.empty(m + 1, dtype=np.intp)
     offsets[0] = 0
     np.cumsum(counts, out=offsets[1:])
     total_len = int(offsets[-1])
     flat = (np.repeat(lo, counts)
             + np.arange(total_len) - np.repeat(offsets[:-1], counts))
-    seg_starts = offsets[:-1]
+    return flat, counts, offsets
 
-    svals = sizes[flat]
-    tvals = times[flat]
-    dvals = downs[flat].astype(np.float64)
+
+def gap_intervals(times: np.ndarray, gap_threshold_s: float
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Capture-gap intervals: inter-record silences over the threshold."""
+    gap_index = np.flatnonzero(np.diff(times) > gap_threshold_s)
+    return times[gap_index], times[gap_index + 1]
+
+
+def valid_window_mask(win_start: np.ndarray, win_end: np.ndarray,
+                      counts: np.ndarray, config: WindowConfig,
+                      gap_starts: np.ndarray, gap_ends: np.ndarray
+                      ) -> np.ndarray:
+    """Completeness gate over non-empty windows (see WindowConfig).
+
+    ``gap_starts``/``gap_ends`` are the capture-gap intervals from
+    :func:`gap_intervals` (empty arrays when gap detection is off).  At
+    the defaults every non-empty window is valid.
+    """
+    valid = np.ones(len(win_start), dtype=bool)
+    if config.min_frames > 1:
+        valid &= counts >= config.min_frames
+    if len(gap_starts):
+        overlapping = (
+            np.searchsorted(gap_starts, win_end, side="left")
+            - np.searchsorted(gap_ends, win_start, side="right"))
+        valid &= overlapping <= 0
+    return valid
+
+
+def chain_gap_since_prev(win_start: np.ndarray, win_end: np.ndarray,
+                         prev_end_s: Optional[float]) -> np.ndarray:
+    """``gap_since_prev`` over consecutive *non-empty* windows.
+
+    The feature is documented as "silence before this window": the hop
+    from the previous window that actually held traffic, clamped at 0
+    for overlapping strides.  It chains across windows the completeness
+    gate invalidates — an invalidated window held (partially captured)
+    traffic, which is not silence.  ``prev_end_s`` carries the previous
+    non-empty window's end across streaming chunk boundaries (``None``
+    for the start of a trace, where the feature is defined as 0).
+    """
+    m = len(win_start)
+    gap = np.zeros(m, dtype=np.float64)
+    if m > 1:
+        gap[1:] = np.maximum(0.0, win_start[1:] - win_end[:-1])
+    if m and prev_end_s is not None:
+        gap[0] = max(0.0, win_start[0] - prev_end_s)
+    return gap
+
+
+def segment_feature_rows(svals: np.ndarray, tvals: np.ndarray,
+                         dvals: np.ndarray, rvals: np.ndarray,
+                         counts: np.ndarray, offsets: np.ndarray,
+                         cumulative_time: np.ndarray,
+                         gap_since_prev: np.ndarray,
+                         frames_1s: np.ndarray, bytes_1s: np.ndarray,
+                         frames_5s: np.ndarray, bytes_5s: np.ndarray,
+                         burst_age: np.ndarray,
+                         burst_bytes: np.ndarray) -> np.ndarray:
+    """Assemble per-window feature rows from gathered segment columns.
+
+    ``svals``/``tvals``/``dvals``/``rvals`` are the float64 sizes, times,
+    downlink flags and RNTIs of every (window, record) pair, gathered
+    with :func:`gather_segments`; the remaining arguments are the
+    per-window context columns the caller computed (batch: whole-trace
+    prefix sums; streaming: ring prefix sums with carried state).  The
+    in-window statistics computed here are a pure function of the
+    gathered segments, which is what makes the batch and streaming
+    paths bit-identical.
+    """
+    m = len(counts)
+    if m == 0:
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+    seg_starts = offsets[:-1]
+    total_len = int(offsets[-1])
     seg_ids = np.repeat(np.arange(m), counts)
 
-    # Sums of integer-valued columns are exact in float64 whatever the
-    # accumulation order, so reduceat is safe for them.  Sums of
-    # genuinely fractional values (squared deviations, time gaps) go
-    # through ``np.bincount`` instead: it accumulates strictly
-    # sequentially in element order, which a record-at-a-time reference
-    # reproduces add for add — see tests/core/test_columnar_golden.py.
     counts_f = counts.astype(np.float64)
     total = _segment_sum(svals, seg_starts)
     mean = total / counts_f
@@ -242,7 +266,6 @@ def extract_features(trace: Trace,
 
     # Distinct RNTIs per window: stable-sort the gathered (segment,
     # rnti) pairs and count value changes inside each segment.
-    rvals = rntis[flat]
     order = np.lexsort((rvals, seg_ids))
     r_sorted = rvals[order]
     is_new = np.empty(total_len, dtype=np.float64)
@@ -253,10 +276,94 @@ def extract_features(trace: Trace,
                               0.0, 1.0)
     rnti_switches = _segment_sum(is_new, seg_starts) - 1.0
 
+    out = np.empty((m, N_FEATURES), dtype=np.float64)
+    for column, values in enumerate((
+            counts_f, total, mean, std, size_min, size_max, gap_mean,
+            gap_std, down_frac, byte_frac, cumulative_time, gap_since_prev,
+            rnti_switches, frames_1s, bytes_1s, frames_5s, bytes_5s,
+            burst_age, burst_bytes)):
+        out[:, column] = values
+    return out
+
+
+def extract_features(trace: Trace,
+                     config: Optional[WindowConfig] = None) -> np.ndarray:
+    """Per-window feature matrix for one trace, shape (n_windows, N_FEATURES).
+
+    Empty windows are skipped (the sniffer sees nothing there); the
+    silence they represent survives as the next window's
+    ``gap_since_prev`` feature, so sparse traffic — the messaging
+    signature — remains visible to the classifier.
+    """
+    config = config or WindowConfig()
+    if config.direction is not None:
+        trace = trace.direction_filtered(config.direction)
+    n = len(trace)
+    if n == 0:
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+
+    times = trace.times_s
+    sizes = trace.tbs_bytes.astype(np.float64)
+    downs = (trace.directions == int(Direction.DOWNLINK))
+    rntis = trace.rntis
+
+    start = times[0]
+    end = times[-1]
+    window_s = config.window_ms / 1000.0
+    stride_s = config.effective_stride_ms / 1000.0
+
+    # All window bounds from two batched searchsorted calls.
+    win_start = _window_grid(float(start), float(end), stride_s)
+    win_end = win_start + window_s
+    lo = np.searchsorted(times, win_start, side="left")
+    hi = np.searchsorted(times, win_end, side="left")
+    nonempty = hi > lo
+    if not nonempty.any():
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+    win_start, win_end = win_start[nonempty], win_end[nonempty]
+    lo, hi = lo[nonempty], hi[nonempty]
+
+    # Completeness gating (capture-loss degradation, see WindowConfig):
+    # windows that are too sparse or that straddle a capture gap are
+    # invalidated rather than fed to the classifier as if complete.  At
+    # the defaults (min_frames=1, gap_threshold_s=None) ``valid`` keeps
+    # every non-empty window and the output is bit-identical to the
+    # gate's absence.
+    if config.gap_threshold_s is not None:
+        gap_starts, gap_ends = gap_intervals(times, config.gap_threshold_s)
+    else:
+        gap_starts = gap_ends = np.empty(0, dtype=np.float64)
+    valid = valid_window_mask(win_start, win_end, hi - lo, config,
+                              gap_starts, gap_ends)
+    invalidated = int(np.count_nonzero(~valid))
+    if invalidated:
+        obs.counter("features.windows_invalidated").inc(invalidated)
+
+    # gap_since_prev chains over *non-empty* windows before the gate is
+    # applied: an invalidated window held traffic, which must not be
+    # reported as silence to the window after it (regression-tested in
+    # tests/core/test_features.py).
+    gap_since_prev = chain_gap_since_prev(win_start, win_end, None)
+
+    if not valid.any():
+        return np.empty((0, N_FEATURES), dtype=np.float64)
+    win_start, win_end = win_start[valid], win_end[valid]
+    lo, hi = lo[valid], hi[valid]
+    gap_since_prev = gap_since_prev[valid]
+
+    # Gather per-(window, record) segments so overlapping strides work:
+    # segment k occupies rows offsets[k]:offsets[k+1] of the flat view.
+    # Sums of integer-valued columns are exact in float64 whatever the
+    # accumulation order, so reduceat is safe for them; genuinely
+    # fractional sums go through np.bincount's strictly sequential
+    # accumulation — see segment_feature_rows and the golden suite.
+    flat, counts, offsets = gather_segments(lo, hi)
+    svals = sizes[flat]
+    tvals = times[flat]
+    dvals = downs[flat].astype(np.float64)
+    rvals = rntis[flat]
+
     cumulative_time = win_start - start
-    gap_since_prev = np.zeros(m, dtype=np.float64)
-    if m > 1:
-        gap_since_prev[1:] = np.maximum(0.0, win_start[1:] - win_end[:-1])
 
     # -- surrounding context (prefix sums + batched searchsorted) ----------------
     size_prefix = np.concatenate([[0.0], np.cumsum(sizes)])
@@ -281,14 +388,10 @@ def extract_features(trace: Trace,
     burst_age = times[hi - 1] - times[burst_lo]
     burst_bytes = size_prefix[burst_hi] - size_prefix[burst_lo]
 
-    out = np.empty((m, N_FEATURES), dtype=np.float64)
-    for column, values in enumerate((
-            counts_f, total, mean, std, size_min, size_max, gap_mean,
-            gap_std, down_frac, byte_frac, cumulative_time, gap_since_prev,
-            rnti_switches, frames_1s, bytes_1s, frames_5s, bytes_5s,
-            burst_age, burst_bytes)):
-        out[:, column] = values
-    return out
+    return segment_feature_rows(svals, tvals, dvals, rvals, counts, offsets,
+                                cumulative_time, gap_since_prev,
+                                frames_1s, bytes_1s, frames_5s, bytes_5s,
+                                burst_age, burst_bytes)
 
 
 def volume_series(trace: Trace, bin_s: float = 1.0,
@@ -322,9 +425,15 @@ def volume_series(trace: Trace, bin_s: float = 1.0,
         return np.zeros(0, dtype=np.float64)
     times = trace.times_s
     start = times[0]
+    # The last record's index is floor((times[-1]-start)/bin_s), which
+    # equals n_bins-1 by construction, and floor is monotone over the
+    # sorted times — so no index can exceed n_bins-1 and a final record
+    # landing exactly on a bin boundary *opens* that bin (it is a
+    # partial last bin, never truncated).  The incremental accumulator
+    # (repro.stream.StreamingVolume) mirrors this arithmetic; the
+    # golden suite pins both to the same bin count.
     n_bins = int(np.floor((times[-1] - start) / bin_s)) + 1
-    indices = np.minimum(((times - start) / bin_s).astype(np.int64),
-                         n_bins - 1)
+    indices = ((times - start) / bin_s).astype(np.int64)
     if value == "frames":
         weights = None
     else:

@@ -176,6 +176,13 @@ class ForestTable:
     def n_classes(self) -> int:
         return self.leaf_proba.shape[2]
 
+    @property
+    def nbytes(self) -> int:
+        """Total column bytes — what an mmap'd model pins per forest."""
+        return (self.features.nbytes + self.thresholds.nbytes
+                + self.left.nbytes + self.right.nbytes
+                + self.leaf_proba.nbytes + self.n_nodes.nbytes)
+
     @classmethod
     def from_trees(cls, tables: Sequence[TreeTable]) -> "ForestTable":
         """Stack per-tree node tables, padding to the widest tree."""

@@ -122,8 +122,13 @@ class IdentityMapper:
     def _close(self, rnti: int, time_s: float) -> None:
         live = self._live.pop(rnti, None)
         if live is not None:
+            # A release arriving out of time order (chunk-boundary
+            # reorder in a streamed feed) must not produce a binding
+            # whose interval runs backwards — covers() would then hold
+            # for no instant at all.  Clamp to a zero-length interval.
+            end_s = max(live.start_s, time_s)
             self._history.append(Binding(rnti=live.rnti, tmsi=live.tmsi,
-                                         start_s=live.start_s, end_s=time_s,
+                                         start_s=live.start_s, end_s=end_s,
                                          cell=live.cell))
             self._closed_obs.inc()
 
@@ -133,6 +138,11 @@ class IdentityMapper:
         self._open(rnti, tmsi, time_s)
 
     # -- queries ---------------------------------------------------------------
+
+    @property
+    def history(self) -> List[Binding]:
+        """Closed bindings, in close order (copy; live ones excluded)."""
+        return list(self._history)
 
     def current_rnti(self, tmsi: int) -> Optional[int]:
         """The C-RNTI currently bound to ``tmsi``, if known."""

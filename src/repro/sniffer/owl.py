@@ -87,7 +87,11 @@ class OWLTracker:
             return
         activity = self._active.get(rnti)
         if activity is not None:
-            activity.last_seen_s = now
+            # Chunked feeds may deliver records slightly out of time
+            # order at chunk boundaries; liveness clocks only ever move
+            # forward, so a late-arriving old record cannot shrink an
+            # entry's lifetime or trigger a spurious expiry later.
+            activity.last_seen_s = max(activity.last_seen_s, now)
             activity.records += 1
             return
         candidate = self._candidates.get(rnti)
@@ -97,7 +101,7 @@ class OWLTracker:
             candidate = self._candidates[rnti]
         else:
             candidate.hits += 1
-            candidate.last_seen_s = now
+            candidate.last_seen_s = max(candidate.last_seen_s, now)
         if candidate.hits >= self._threshold:
             self._confirm(rnti, now)
 
@@ -121,7 +125,7 @@ class OWLTracker:
                 continue
             activity = self._active.get(rnti)
             if activity is not None:
-                activity.last_seen_s = now
+                activity.last_seen_s = max(activity.last_seen_s, now)
                 activity.records += count
                 continue
             candidate = self._candidates.get(rnti)
@@ -131,13 +135,13 @@ class OWLTracker:
                 self._candidates[rnti] = candidate
             else:
                 candidate.hits += 1
-                candidate.last_seen_s = now
+                candidate.last_seen_s = max(candidate.last_seen_s, now)
             remaining = count - 1
             if candidate.hits < self._threshold:
                 taken = min(remaining, self._threshold - candidate.hits)
                 candidate.hits += taken
                 if taken:
-                    candidate.last_seen_s = now
+                    candidate.last_seen_s = max(candidate.last_seen_s, now)
                 remaining -= taken
             if candidate.hits >= self._threshold:
                 self._confirm(rnti, now)
@@ -157,7 +161,8 @@ class OWLTracker:
 
     def _confirm(self, rnti: int, now: float) -> None:
         if rnti in self._active:
-            self._active[rnti].last_seen_s = now
+            activity = self._active[rnti]
+            activity.last_seen_s = max(activity.last_seen_s, now)
             return
         self._candidates.pop(rnti, None)
         self._active[rnti] = RNTIActivity(rnti=rnti, confirmed_s=now,
@@ -176,7 +181,7 @@ class OWLTracker:
         activity = self._active.pop(rnti, None)
         if activity is not None:
             activity.expired = True
-            activity.last_seen_s = now
+            activity.last_seen_s = max(activity.last_seen_s, now)
             self._history.append(activity)
             self._retired_obs.inc()
 

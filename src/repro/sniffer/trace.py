@@ -475,6 +475,22 @@ class Trace:
                                  self.tbs_bytes[lo:hi], validate=False,
                                  **self.metadata())
 
+    def iter_chunks(self, chunk_records: int):
+        """Yield ``(times_s, rntis, directions, tbs_bytes)`` column chunks.
+
+        Zero-copy slice views of at most ``chunk_records`` records each,
+        in stream order — the feed shape the streaming data plane
+        (:mod:`repro.stream`) ingests.  Concatenating the chunks
+        reproduces the trace's columns exactly.
+        """
+        if chunk_records <= 0:
+            raise ValueError(
+                f"chunk_records must be positive: {chunk_records}")
+        for lo in range(0, self._n, chunk_records):
+            hi = min(lo + chunk_records, self._n)
+            yield (self.times_s[lo:hi], self.rntis[lo:hi],
+                   self.directions[lo:hi], self.tbs_bytes[lo:hi])
+
     def rnti_filtered(self, rntis: Iterable[int]) -> "Trace":
         """A copy containing only records for the given RNTIs.
 
@@ -531,6 +547,10 @@ class Trace:
             next(reader, None)                      # header row
             columns = list(zip(*reader))
         if columns:
+            if len(columns) < 4:
+                raise ValueError(
+                    f"{path}: expected 4 record columns "
+                    f"(time_s,rnti,direction,tbs_bytes), got {len(columns)}")
             trace = cls.from_arrays(
                 np.array(columns[0], dtype=TIME_DTYPE),
                 np.array(columns[1], dtype=RNTI_DTYPE),
@@ -559,12 +579,20 @@ class Trace:
         builder = TraceBuilder()
         metadata: Dict = {}
         with path.open() as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 obj = json.loads(line)
-                if "meta" in obj:
+                if isinstance(obj, dict) and "meta" in obj:
                     metadata = obj["meta"]
                     continue
-                builder.append(obj["t"], obj["rnti"], obj["dir"], obj["tbs"])
+                # Malformed records surface as ValueError so callers
+                # (the serve CLI) can report bad input, not crash.
+                try:
+                    builder.append(obj["t"], obj["rnti"], obj["dir"],
+                                   obj["tbs"])
+                except (KeyError, TypeError, IndexError) as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: not a trace record "
+                        f"(need t/rnti/dir/tbs): {exc}") from exc
         trace = builder.build()
         trace.apply_metadata(metadata)
         return trace

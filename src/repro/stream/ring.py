@@ -1,0 +1,161 @@
+"""Bounded columnar record buffer for the streaming data plane.
+
+:class:`ColumnRing` holds the suffix of a DCI record stream that open
+windows can still reference, as four parallel numpy columns plus the
+running byte-prefix column.  Records are addressed by their *absolute*
+stream index, which never changes as old records are pruned — so every
+``searchsorted`` the windowizer performs against the ring translates
+directly into the index the batch path would have computed against the
+whole trace.
+
+Two properties matter for bit-identity with the batch path:
+
+* the byte prefix is a strictly sequential fold (``np.cumsum`` with the
+  previous total carried in), so ``prefix_at(j)`` equals the batch's
+  ``size_prefix[j]`` bitwise for every j still addressable;
+* pruning only ever removes records *strictly below* every query the
+  windowizer will still issue, so ``base + searchsorted(view, q)``
+  equals a searchsorted against the full history.
+
+The buffer is compacting rather than circular: pruning shifts the live
+suffix to the front and appends grow a power-of-two capacity, keeping
+columns contiguous for the vectorised gathers.  ``high_water`` records
+the maximum live occupancy, which is what the bounded-memory assertion
+in ``tests/stream`` checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sniffer.trace import DIR_DTYPE, RNTI_DTYPE, TBS_DTYPE, TIME_DTYPE
+
+_MIN_CAPACITY = 1024
+
+
+class ColumnRing:
+    """Compacting columnar buffer with absolute stream indexing."""
+
+    __slots__ = ("_times", "_rntis", "_dirs", "_tbs", "_csum",
+                 "_base", "_len", "_base_prefix", "high_water")
+
+    def __init__(self, capacity: int = _MIN_CAPACITY) -> None:
+        capacity = max(int(capacity), 1)
+        self._times = np.empty(capacity, dtype=TIME_DTYPE)
+        self._rntis = np.empty(capacity, dtype=RNTI_DTYPE)
+        self._dirs = np.empty(capacity, dtype=DIR_DTYPE)
+        self._tbs = np.empty(capacity, dtype=TBS_DTYPE)
+        self._csum = np.empty(capacity, dtype=np.float64)
+        self._base = 0          # absolute index of slot 0
+        self._len = 0           # live records
+        self._base_prefix = 0.0  # sum of sizes of records [0, base)
+        self.high_water = 0
+
+    # -- geometry -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def base(self) -> int:
+        """Absolute index of the oldest retained record."""
+        return self._base
+
+    @property
+    def end(self) -> int:
+        """Absolute index one past the newest record (= records seen)."""
+        return self._base + self._len
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated column bytes (capacity, not occupancy)."""
+        return (self._times.nbytes + self._rntis.nbytes + self._dirs.nbytes
+                + self._tbs.nbytes + self._csum.nbytes)
+
+    # -- views (live suffix, zero-copy) ------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times[:self._len]
+
+    @property
+    def rntis(self) -> np.ndarray:
+        return self._rntis[:self._len]
+
+    @property
+    def directions(self) -> np.ndarray:
+        return self._dirs[:self._len]
+
+    @property
+    def tbs_bytes(self) -> np.ndarray:
+        return self._tbs[:self._len]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        need = self._len + extra
+        capacity = len(self._times)
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        for name in ("_times", "_rntis", "_dirs", "_tbs", "_csum"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[:self._len] = old[:self._len]
+            setattr(self, name, grown)
+
+    def append(self, times: np.ndarray, rntis: np.ndarray,
+               directions: np.ndarray, tbs_bytes: np.ndarray) -> None:
+        """Append one chunk (already sorted and direction-filtered)."""
+        k = len(times)
+        if k == 0:
+            return
+        self._reserve(k)
+        n = self._len
+        self._times[n:n + k] = times
+        self._rntis[n:n + k] = rntis
+        self._dirs[n:n + k] = directions
+        self._tbs[n:n + k] = tbs_bytes
+        # Sequential fold with the carried total: bitwise-identical to
+        # the corresponding slice of np.cumsum over the whole history
+        # (np.add.accumulate is a strict left fold).
+        carry = self._csum[n - 1] if n else self._base_prefix
+        self._csum[n:n + k] = np.cumsum(
+            np.concatenate([[carry], tbs_bytes.astype(np.float64)]))[1:]
+        self._len = n + k
+        if self._len > self.high_water:
+            self.high_water = self._len
+
+    def prune_below(self, abs_index: int) -> int:
+        """Drop records with absolute index < ``abs_index``; returns count."""
+        drop = min(max(abs_index - self._base, 0), self._len)
+        if drop == 0:
+            return 0
+        self._base_prefix = float(self._csum[drop - 1])
+        keep = self._len - drop
+        for name in ("_times", "_rntis", "_dirs", "_tbs", "_csum"):
+            column = getattr(self, name)
+            column[:keep] = column[drop:self._len]
+        self._base += drop
+        self._len = keep
+        return drop
+
+    # -- prefix sums --------------------------------------------------------------
+
+    @property
+    def total_prefix(self) -> float:
+        """Byte prefix at ``end`` — total bytes of every record seen."""
+        return float(self._csum[self._len - 1]) if self._len \
+            else self._base_prefix
+
+    def prefix_at(self, abs_indices: np.ndarray) -> np.ndarray:
+        """``size_prefix[j]`` (bytes of records [0, j)) per absolute index.
+
+        Valid for ``base <= j <= end``; bitwise equal to the batch
+        path's ``np.concatenate([[0.0], np.cumsum(sizes)])[j]``.
+        """
+        local = np.asarray(abs_indices) - self._base
+        prefix = np.concatenate([[self._base_prefix],
+                                 self._csum[:self._len]])
+        return prefix[local]

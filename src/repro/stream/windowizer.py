@@ -1,0 +1,425 @@
+"""Incremental windowing: the batch feature grid, closed as time passes.
+
+:class:`StreamingWindowizer` ingests a DCI record stream chunk by chunk
+and emits, in grid order, exactly the per-window feature rows
+``extract_features`` would produce for the whole trace — bit for bit
+(``np.array_equal``), for *any* partition of the stream into chunks,
+including one record at a time.  The equivalence rests on four facts:
+
+* window starts are ``start + k * stride`` computed by multiplication,
+  so the streaming side generates the identical float64 grid for any
+  ``k`` range;
+* the byte prefix in the :class:`~repro.stream.ring.ColumnRing` is a
+  strict sequential fold with a carried total, bitwise-equal to the
+  batch ``np.cumsum``;
+* the in-window statistics kernel
+  (:func:`repro.core.features.segment_feature_rows`) is shared with the
+  batch path and is a pure function of the gathered segments;
+* a window is only *resolved* once every record that can influence it
+  has arrived — its own span, its ±2.5 s context, its capture-gap
+  overlaps — which is when the stream clock (last ingested record
+  time) passes ``max(win_end, mid + 2.5)``.
+
+One feature cannot be resolved eagerly: ``burst_bytes`` spans the whole
+burst containing the window's last record, and a burst only ends at the
+next >0.5 s silence (or the end of the stream).  Windows whose burst is
+still open are parked in an emission reorder buffer with the feature
+deferred, and flushed the moment the burst closes — emission order
+stays grid order because pending windows always belong to the single
+currently-open burst.
+
+Memory is bounded: once the next unresolved window is known, every
+record older than ``min(win_start, mid - 2.5)`` of that window can
+never be referenced again and is pruned from the ring, as are capture
+gaps and closed bursts that no future window can overlap.
+
+Ingest contract (the streaming boundary bugfix this PR pins down):
+records *within* a chunk may arrive out of strict time order and are
+stably re-sorted; a chunk whose earliest record precedes the previous
+chunk's latest is rejected with ``ValueError`` before any state
+changes, so a mid-stream reconfiguration cannot silently corrupt
+windows already closed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import obs
+from ..core.features import (FEATURE_NAMES, N_FEATURES, WindowConfig,
+                             chain_gap_since_prev, gather_segments,
+                             segment_feature_rows, valid_window_mask)
+from ..lte.dci import Direction
+from ..sniffer.trace import (DIR_DTYPE, RNTI_DTYPE, TBS_DTYPE, TIME_DTYPE,
+                             Trace)
+from .ring import ColumnRing
+
+#: Inter-record silence that ends a burst (matches the batch path).
+BURST_GAP_S = 0.5
+_CTX_HALF_1S = 0.5
+_CTX_HALF_5S = 2.5
+_BURST_BYTES_COL = FEATURE_NAMES.index("burst_bytes")
+
+
+@dataclass(frozen=True)
+class ClosedWindows:
+    """One batch of closed (resolved and emitted) feature windows."""
+
+    rows: np.ndarray          # (m, N_FEATURES) float64 feature rows
+    win_start_s: np.ndarray   # (m,) window starts
+    win_end_s: np.ndarray     # (m,) window ends
+    lag_s: np.ndarray         # (m,) event-time close lag: stream clock
+                              # at emission minus win_end
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @classmethod
+    def empty(cls) -> "ClosedWindows":
+        return cls(rows=np.empty((0, N_FEATURES), dtype=np.float64),
+                   win_start_s=np.empty(0, dtype=np.float64),
+                   win_end_s=np.empty(0, dtype=np.float64),
+                   lag_s=np.empty(0, dtype=np.float64))
+
+    @classmethod
+    def concat(cls, batches: Sequence["ClosedWindows"]) -> "ClosedWindows":
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        return cls(
+            rows=np.concatenate([b.rows for b in batches], axis=0),
+            win_start_s=np.concatenate([b.win_start_s for b in batches]),
+            win_end_s=np.concatenate([b.win_end_s for b in batches]),
+            lag_s=np.concatenate([b.lag_s for b in batches]))
+
+
+@dataclass
+class _Pending:
+    """A resolved window waiting in the emission reorder buffer."""
+
+    row: np.ndarray
+    win_start: float
+    win_end: float
+    deferred: bool = field(default=False)  # burst_bytes awaits burst close
+
+
+class StreamingWindowizer:
+    """Chunk-by-chunk windowizer, bit-identical to ``extract_features``."""
+
+    def __init__(self, config: Optional[WindowConfig] = None) -> None:
+        self._config = config or WindowConfig()
+        self._window_s = self._config.window_ms / 1000.0
+        self._stride_s = self._config.effective_stride_ms / 1000.0
+        self._direction = (int(self._config.direction)
+                           if self._config.direction is not None else None)
+        self._ring = ColumnRing()
+        self._start: Optional[float] = None   # first kept record time
+        self._last_time: Optional[float] = None      # kept-stream clock
+        self._last_raw_time: Optional[float] = None  # raw-stream clock
+        self._next_k = 0                      # next unresolved grid index
+        self._prev_nonempty_end: Optional[float] = None
+        # Open burst (start index / time / byte prefix) and closed
+        # bursts still overlapping resolvable windows.
+        self._burst_start_idx: Optional[int] = None
+        self._burst_start_time = 0.0
+        self._burst_start_prefix = 0.0
+        self._closed_bursts: deque = deque()
+        # Capture-gap ledger (only populated when gap gating is on).
+        self._gap_starts: List[float] = []
+        self._gap_ends: List[float] = []
+        self._pending: "deque[_Pending]" = deque()
+        self._finished = False
+        # Stats (plain ints: the service layer owns obs counters, but
+        # window invalidation shares the batch path's counter).
+        self.records_seen = 0
+        self.records_kept = 0
+        self.records_dropped_direction = 0
+        self.chunks_reordered = 0
+        self.windows_closed = 0
+        self._invalidated_obs = obs.counter("features.windows_invalidated")
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def config(self) -> WindowConfig:
+        return self._config
+
+    @property
+    def backlog(self) -> int:
+        """Resolved windows parked awaiting burst close."""
+        return len(self._pending)
+
+    @property
+    def ring_occupancy(self) -> int:
+        return len(self._ring)
+
+    @property
+    def ring_high_water(self) -> int:
+        return self._ring.high_water
+
+    @property
+    def ring_nbytes(self) -> int:
+        return self._ring.nbytes
+
+    # -- ingest -------------------------------------------------------------------
+
+    def ingest_trace(self, chunk: Trace) -> ClosedWindows:
+        """Feed one :class:`Trace` slice (convenience wrapper)."""
+        return self.ingest(chunk.times_s, chunk.rntis, chunk.directions,
+                           chunk.tbs_bytes)
+
+    def ingest(self, times_s, rntis, directions, tbs_bytes) -> ClosedWindows:
+        """Feed one chunk of records; returns the windows it closed."""
+        if self._finished:
+            raise RuntimeError("windowizer is finished")
+        t = np.asarray(times_s, dtype=TIME_DTYPE)
+        r = np.asarray(rntis, dtype=RNTI_DTYPE)
+        d = np.asarray(directions, dtype=DIR_DTYPE)
+        s = np.asarray(tbs_bytes, dtype=TBS_DTYPE)
+        if not (len(t) == len(r) == len(d) == len(s)):
+            raise ValueError("chunk columns must have equal lengths")
+        if len(t) == 0:
+            return ClosedWindows.empty()
+        # Within-chunk disorder is legal at the ring boundary: restore
+        # time order with a *stable* sort so ties keep arrival order.
+        if len(t) > 1 and np.any(np.diff(t) < 0):
+            order = np.argsort(t, kind="stable")
+            t, r, d, s = t[order], r[order], d[order], s[order]
+            self.chunks_reordered += 1
+        # Cross-chunk regression is rejected before any state changes:
+        # windows at or before the old clock may already be closed.
+        if self._last_raw_time is not None and t[0] < self._last_raw_time:
+            raise ValueError(
+                f"chunk regresses below the stream clock: first record at "
+                f"{t[0]!r} < last seen {self._last_raw_time!r}")
+        self.records_seen += len(t)
+        self._last_raw_time = float(t[-1])
+        if self._direction is not None:
+            keep = d == self._direction
+            dropped = int(len(t) - np.count_nonzero(keep))
+            if dropped:
+                self.records_dropped_direction += dropped
+                t, r, d, s = t[keep], r[keep], d[keep], s[keep]
+        if len(t) == 0:
+            return ClosedWindows.empty()
+        self.records_kept += len(t)
+        self._append_chunk(t, r, d, s)
+        self._resolve(final=False)
+        return self._drain()
+
+    def finish(self) -> ClosedWindows:
+        """End of stream: close the open burst, resolve the tail."""
+        if self._finished:
+            raise RuntimeError("windowizer is finished")
+        self._finished = True
+        if self._start is not None:
+            # The open burst runs to the end of the stream, exactly like
+            # the batch path's final burst bound at n.
+            self._close_burst(self._ring.end, self._ring.total_prefix)
+            self._burst_start_idx = None
+            self._resolve(final=True)
+        return self._drain()
+
+    # -- ledger maintenance -------------------------------------------------------
+
+    def _append_chunk(self, t, r, d, s) -> None:
+        first = self._ring.end
+        prev = self._last_time
+        self._ring.append(t, r, d, s)
+        self._last_time = float(t[-1])
+        if self._start is None:
+            self._start = float(t[0])
+            self._burst_start_idx = 0
+            self._burst_start_time = float(t[0])
+            self._burst_start_prefix = 0.0
+        # Consecutive-record diffs spanning the chunk boundary: the same
+        # values np.diff(times) yields on the assembled trace.
+        diffs = np.empty(len(t), dtype=np.float64)
+        diffs[0] = t[0] - prev if prev is not None else 0.0
+        if len(t) > 1:
+            diffs[1:] = t[1:] - t[:-1]
+        boundaries = np.flatnonzero(diffs > BURST_GAP_S)
+        if len(boundaries):
+            starts = self._ring.prefix_at(first + boundaries)
+            for p, prefix in zip(boundaries.tolist(), starts.tolist()):
+                self._close_burst(first + p, prefix)
+                self._burst_start_idx = first + p
+                self._burst_start_time = float(t[p])
+                self._burst_start_prefix = prefix
+        if self._config.gap_threshold_s is not None:
+            gaps = np.flatnonzero(diffs > self._config.gap_threshold_s)
+            for p in gaps.tolist():
+                gap_start = float(t[p - 1]) if p else float(prev)
+                self._gap_starts.append(gap_start)
+                self._gap_ends.append(float(t[p]))
+
+    def _close_burst(self, end_idx: int, prefix_end: float) -> None:
+        self._closed_bursts.append(
+            (self._burst_start_idx, self._burst_start_time,
+             self._burst_start_prefix, end_idx, prefix_end))
+        fill = prefix_end - self._burst_start_prefix
+        for entry in self._pending:
+            if entry.deferred:
+                entry.row[_BURST_BYTES_COL] = fill
+                entry.deferred = False
+
+    # -- window resolution --------------------------------------------------------
+
+    def _resolve(self, final: bool) -> None:
+        if self._start is None:
+            return
+        start, stride = self._start, self._stride_s
+        window_s = self._window_s
+        clock = self._last_time
+        k0 = self._next_k
+        # Over-generate candidate ks, then apply the exact per-window
+        # condition — mirrors _window_grid so float rounding can never
+        # add or drop a window.
+        if final:
+            guess = int(np.floor((clock - start) / stride)) \
+                if clock > start else 0
+            ks = np.arange(k0, max(guess + 2, k0), dtype=np.float64)
+            ws = start + ks * stride
+            ws = ws[ws <= clock]
+        else:
+            horizon = max(window_s, window_s / 2.0 + _CTX_HALF_5S)
+            guess = int(np.floor((clock - horizon - start) / stride))
+            if guess + 2 <= k0:
+                return
+            ks = np.arange(k0, guess + 2, dtype=np.float64)
+            ws = start + ks * stride
+            we = ws + window_s
+            resolvable = np.maximum(we, (ws + we) / 2.0 + _CTX_HALF_5S)
+            ws = ws[resolvable <= clock]
+        if not len(ws):
+            return
+        self._next_k += len(ws)
+        we = ws + window_s
+        mid = (ws + we) / 2.0
+        T = self._ring.times
+        base = self._ring.base
+        lo = base + np.searchsorted(T, ws, side="left")
+        hi = base + np.searchsorted(T, we, side="left")
+        nonempty = hi > lo
+        if nonempty.any():
+            ws_ne, we_ne, mid_ne = ws[nonempty], we[nonempty], mid[nonempty]
+            lo_ne, hi_ne = lo[nonempty], hi[nonempty]
+            gap_starts = np.asarray(self._gap_starts, dtype=np.float64)
+            gap_ends = np.asarray(self._gap_ends, dtype=np.float64)
+            valid = valid_window_mask(ws_ne, we_ne, hi_ne - lo_ne,
+                                      self._config, gap_starts, gap_ends)
+            invalidated = int(np.count_nonzero(~valid))
+            if invalidated:
+                self._invalidated_obs.inc(invalidated)
+            gap_prev = chain_gap_since_prev(ws_ne, we_ne,
+                                            self._prev_nonempty_end)
+            self._prev_nonempty_end = float(we_ne[-1])
+            if valid.any():
+                self._emit_rows(ws_ne[valid], we_ne[valid], mid_ne[valid],
+                                lo_ne[valid], hi_ne[valid], gap_prev[valid])
+        self._prune()
+
+    def _emit_rows(self, ws, we, mid, lo, hi, gap_prev) -> None:
+        ring = self._ring
+        T = ring.times
+        base = ring.base
+        m = len(ws)
+        flat, counts, offsets = gather_segments(lo - base, hi - base)
+        svals = ring.tbs_bytes[flat].astype(np.float64)
+        tvals = T[flat]
+        dvals = (ring.directions[flat]
+                 == int(Direction.DOWNLINK)).astype(np.float64)
+        rvals = ring.rntis[flat]
+
+        cumulative_time = ws - self._start
+        lo_1s = base + np.searchsorted(T, mid - _CTX_HALF_1S, side="left")
+        hi_1s = base + np.searchsorted(T, mid + _CTX_HALF_1S, side="left")
+        lo_5s = base + np.searchsorted(T, mid - _CTX_HALF_5S, side="left")
+        hi_5s = base + np.searchsorted(T, mid + _CTX_HALF_5S, side="left")
+        frames_1s = (hi_1s - lo_1s).astype(np.float64)
+        bytes_1s = ring.prefix_at(hi_1s) - ring.prefix_at(lo_1s)
+        frames_5s = (hi_5s - lo_5s).astype(np.float64)
+        bytes_5s = ring.prefix_at(hi_5s) - ring.prefix_at(lo_5s)
+
+        # Burst columns: each window belongs to the burst containing its
+        # last record.  Closed bursts are fully known; windows in the
+        # open burst get burst_age now (it only needs the start) and a
+        # deferred burst_bytes.
+        last = hi - 1
+        t_last = T[last - base]
+        burst_age = np.empty(m, dtype=np.float64)
+        burst_bytes = np.empty(m, dtype=np.float64)
+        if self._burst_start_idx is not None:
+            in_open = last >= self._burst_start_idx
+        else:
+            in_open = np.zeros(m, dtype=bool)
+        if in_open.any():
+            burst_age[in_open] = t_last[in_open] - self._burst_start_time
+            burst_bytes[in_open] = np.nan
+        closed = ~in_open
+        if closed.any():
+            cb_start = np.asarray([b[0] for b in self._closed_bursts],
+                                  dtype=np.int64)
+            cb_time = np.asarray([b[1] for b in self._closed_bursts],
+                                 dtype=np.float64)
+            cb_p0 = np.asarray([b[2] for b in self._closed_bursts],
+                               dtype=np.float64)
+            cb_p1 = np.asarray([b[4] for b in self._closed_bursts],
+                               dtype=np.float64)
+            pos = np.searchsorted(cb_start, last[closed], side="right") - 1
+            burst_age[closed] = t_last[closed] - cb_time[pos]
+            burst_bytes[closed] = cb_p1[pos] - cb_p0[pos]
+
+        rows = segment_feature_rows(
+            svals, tvals, dvals, rvals, counts, offsets, cumulative_time,
+            gap_prev, frames_1s, bytes_1s, frames_5s, bytes_5s,
+            burst_age, burst_bytes)
+        for i in range(m):
+            self._pending.append(_Pending(
+                row=rows[i], win_start=float(ws[i]), win_end=float(we[i]),
+                deferred=bool(in_open[i])))
+
+    def _prune(self) -> None:
+        """Drop ring records / gaps / bursts no future window can touch."""
+        ws_next = self._start + float(self._next_k) * self._stride_s
+        # The threshold must lower-bound every future searchsorted query
+        # *bitwise*, so it is computed with the exact expression
+        # _emit_rows uses (mid = (ws + we) / 2.0, query = mid - 2.5), not
+        # an algebraic rearrangement: ws + w/2 - 2.5 can round one ulp
+        # above (ws + (ws + w)) / 2 - 2.5 and prune a record sitting on a
+        # later window's context edge.  IEEE add/divide are monotone, so
+        # mid_k is nondecreasing in k and this bounds all future queries.
+        we_next = ws_next + self._window_s
+        mid_next = (ws_next + we_next) / 2.0
+        threshold = min(ws_next, mid_next - _CTX_HALF_5S)
+        cut = self._ring.base + int(np.searchsorted(
+            self._ring.times, threshold, side="left"))
+        self._ring.prune_below(cut)
+        while self._gap_ends and self._gap_ends[0] <= ws_next:
+            self._gap_starts.pop(0)
+            self._gap_ends.pop(0)
+        while self._closed_bursts \
+                and self._closed_bursts[0][3] <= self._ring.base:
+            self._closed_bursts.popleft()
+
+    # -- emission ----------------------------------------------------------------
+
+    def _drain(self) -> ClosedWindows:
+        if not self._pending or self._pending[0].deferred:
+            return ClosedWindows.empty()
+        rows, starts, ends = [], [], []
+        while self._pending and not self._pending[0].deferred:
+            entry = self._pending.popleft()
+            rows.append(entry.row)
+            starts.append(entry.win_start)
+            ends.append(entry.win_end)
+        self.windows_closed += len(rows)
+        win_end = np.asarray(ends, dtype=np.float64)
+        return ClosedWindows(
+            rows=np.stack(rows), win_start_s=np.asarray(starts),
+            win_end_s=win_end,
+            lag_s=np.maximum(0.0, self._last_time - win_end))

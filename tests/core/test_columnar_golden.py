@@ -194,6 +194,45 @@ class TestExtractFeaturesGolden:
         assert extract_features(trace).shape[1] == len(FEATURE_NAMES)
 
 
+class TestGapSincePrevChaining:
+    """Regression: gap_since_prev chains over *nonempty* windows.
+
+    A window invalidated by ``min_frames``/``gap_threshold_s`` held
+    real traffic — it is dropped from the output, but it was not
+    silence, so the next valid window's ``gap_since_prev`` measures
+    from the invalidated window's end, not from the last *valid*
+    window (which would manufacture a silence that never happened).
+    """
+
+    GAP_COL = FEATURE_NAMES.index("gap_since_prev")
+
+    @staticmethod
+    def _trace(times):
+        trace = Trace()
+        for t in times:
+            trace.append(TraceRecord(t, 0x100, Direction.DOWNLINK, 100))
+        return trace
+
+    def test_invalidated_window_still_anchors_gap(self):
+        # w0 [0,0.1): 3 recs (valid) · w1 [0.1,0.2): 1 rec (min_frames
+        # kills it) · w2 [0.2,0.3): empty · w3 [0.3,0.4): 2 recs.
+        trace = self._trace([0.0, 0.01, 0.02, 0.105, 0.35, 0.36])
+        config = WindowConfig(min_frames=2)
+        rows = extract_features(trace, config)
+        assert rows.shape[0] == 2          # w0 and w3 survive
+        # Chain anchors at w1's end (0.2), not w0's end (0.1).
+        assert rows[1, self.GAP_COL] == pytest.approx(0.3 - 0.2)
+
+    def test_defaults_unchanged(self):
+        # With min_frames=1 and no gap threshold every nonempty window
+        # is valid, so chaining over nonempty == chaining over valid —
+        # the fix is invisible at defaults (bit-identical golden suite).
+        trace = self._trace([0.0, 0.01, 0.02, 0.105, 0.35, 0.36])
+        rows_default = extract_features(trace, WindowConfig())
+        reference = ref_extract_features(trace, WindowConfig())
+        assert np.array_equal(rows_default, reference)
+
+
 class TestVolumeSeriesGolden:
     @pytest.mark.parametrize("seed", RNG_SEEDS)
     @pytest.mark.parametrize("value", ["frames", "bytes"])
@@ -210,6 +249,41 @@ class TestVolumeSeriesGolden:
             assert np.array_equal(
                 ref_volume_series(trace, direction=direction),
                 volume_series(trace, direction=direction))
+
+    def test_final_record_on_bin_boundary_opens_partial_bin(self):
+        # A final record landing exactly on a bin edge must OPEN that
+        # bin (floor semantics), not be clamped back into the previous
+        # one — batch and incremental accumulation agree on the count.
+        from repro.stream import StreamingVolume
+
+        trace = Trace()
+        for t in (0.0, 0.4, 1.7, 3.0):   # 3.0 == 3 * bin_s exactly
+            trace.append(TraceRecord(t, 0x100, Direction.DOWNLINK, 100))
+        series = volume_series(trace, bin_s=1.0)
+        assert len(series) == 4
+        assert np.array_equal(series, [2.0, 1.0, 0.0, 1.0])
+        streaming = StreamingVolume(bin_s=1.0)
+        for chunk in trace.iter_chunks(1):
+            streaming.ingest(chunk[0], chunk[2], chunk[3])
+        assert np.array_equal(streaming.finalize(), series)
+
+    @pytest.mark.parametrize("seed", RNG_SEEDS)
+    @pytest.mark.parametrize("value", ["frames", "bytes"])
+    def test_incremental_accumulation_bit_identical(self, seed, value):
+        trace = random_trace(seed, duplicates=(seed % 2 == 0))
+        from repro.stream import StreamingVolume
+
+        for bin_s, gap in ((1.0, None), (0.25, None), (0.5, 0.3)):
+            expected = volume_series(trace, bin_s=bin_s, value=value,
+                                     gap_threshold_s=gap)
+            for chunk_records in (1, 7, 1000):
+                streaming = StreamingVolume(bin_s=bin_s, value=value,
+                                            gap_threshold_s=gap)
+                for chunk in trace.iter_chunks(chunk_records):
+                    streaming.ingest(chunk[0], chunk[2], chunk[3])
+                actual = streaming.finalize()
+                assert len(actual) == len(expected)
+                assert np.array_equal(actual, expected, equal_nan=True)
 
 
 class TestFilterGolden:

@@ -37,18 +37,86 @@ class TestCLI:
                      "--operator", "T-Mobile"]) == 0
         assert len(list(data.glob("trace_*.csv"))) == 1
 
+    # Bad input exits 2 (the --faults convention); 1 is reserved for
+    # runtime failures after inputs validated.
+
     def test_train_empty_dir_fails(self, tmp_path):
-        assert main(["train", "--data", str(tmp_path)]) == 1
+        assert main(["train", "--data", str(tmp_path)]) == 2
 
     def test_classify_empty_dir_fails(self, tmp_path):
         missing = tmp_path / "none"
         missing.mkdir()
         assert main(["classify", "--data", str(missing), "--trace",
-                     str(tmp_path / "x.csv")]) == 1
+                     str(tmp_path / "x.csv")]) == 2
+
+    def test_classify_missing_trace_fails(self, tmp_path):
+        data = tmp_path / "traces"
+        assert main(["collect", "--out", str(data), "--apps", "Skype",
+                     "--traces", "1", "--duration", "8"]) == 0
+        assert main(["classify", "--data", str(data), "--trace",
+                     str(tmp_path / "missing.csv"), "--trees", "4"]) == 2
 
     def test_unknown_experiment_fails(self):
-        assert main(["experiment", "tableX"]) == 1
+        assert main(["experiment", "tableX"]) == 2
+
+    def test_report_missing_manifest_fails(self, tmp_path):
+        assert main(["report", str(tmp_path / "none.jsonl")]) == 2
 
     def test_bad_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServeCLI:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("serve")
+        data = root / "traces"
+        assert main(["collect", "--out", str(data), "--format", "npz",
+                     "--apps", "YouTube", "Skype", "--traces", "2",
+                     "--duration", "10", "--seed", "7"]) == 0
+        model = root / "model.json"
+        assert main(["train", "--data", str(data / "traces.npz"),
+                     "--trees", "8", "--save-model", str(model)]) == 0
+        return root
+
+    def test_serve_recorded_sources(self, campaign, tmp_path, capsys):
+        import json
+
+        from repro.sniffer.trace import TraceSet
+
+        traces = TraceSet.from_npz(campaign / "traces" / "traces.npz")
+        source = tmp_path / "feed.npz"
+        traces.traces[0].to_npz(source)
+        out = tmp_path / "verdicts.jsonl"
+        assert main(["serve", "--model", str(campaign / "model.json"),
+                     "--data", str(source), "--out", str(out),
+                     "--chunk-records", "64"]) == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = [line["type"] for line in lines]
+        assert "window" in kinds and "trace" in kinds and "fused" in kinds
+        summary = capsys.readouterr().out
+        assert "windows closed" in summary
+
+    def test_serve_sim_feed(self, campaign, capsys):
+        assert main(["serve", "--sim", "--sim-cells", "2",
+                     "--sim-epochs", "1",
+                     "--model", str(campaign / "model.json")]) == 0
+        assert "fused" in capsys.readouterr().out
+
+    def test_serve_missing_source_is_bad_input(self, campaign, tmp_path):
+        assert main(["serve", "--model", str(campaign / "model.json"),
+                     "--data", str(tmp_path / "none.npz")]) == 2
+
+    def test_serve_bad_model_is_bad_input(self, tmp_path):
+        bogus = tmp_path / "model.json"
+        bogus.write_text("{}")
+        feed = tmp_path / "feed.csv"
+        feed.write_text("time_s,rnti,direction,tbs_bytes\n")
+        assert main(["serve", "--model", str(bogus),
+                     "--data", str(feed)]) == 2
+
+    def test_serve_bad_chunk_records(self, campaign, tmp_path):
+        assert main(["serve", "--model", str(campaign / "model.json"),
+                     "--data", str(tmp_path / "feed.npz"),
+                     "--chunk-records", "0"]) == 2

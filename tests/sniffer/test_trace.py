@@ -117,6 +117,23 @@ class TestPersistence:
         assert loaded.records == trace.records
         assert loaded.metadata() == trace.metadata()
 
+    def test_jsonl_malformed_record_is_value_error(self, tmp_path):
+        # Bad input must raise ValueError (the serve CLI maps it to
+        # exit 2), never a bare KeyError/TypeError traceback.
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "window", "app": "YouTube"}\n')
+        with pytest.raises(ValueError, match="t/rnti/dir/tbs"):
+            Trace.from_jsonl(path)
+        path.write_text('[1, 2]\n')
+        with pytest.raises(ValueError):
+            Trace.from_jsonl(path)
+
+    def test_csv_missing_columns_is_value_error(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,rnti\n0.1,257\n")
+        with pytest.raises(ValueError, match="4 record columns"):
+            Trace.from_csv(path)
+
     @settings(max_examples=25)
     @given(record_lists)
     def test_property_csv_round_trip(self, tmp_path_factory, tuples):

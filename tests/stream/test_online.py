@@ -1,0 +1,120 @@
+"""Online classifier + fusion: streaming verdicts equal batch verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import collect_traces, windows_from_traces
+from repro.core.fingerprint import HierarchicalFingerprinter
+from repro.stream import OnlineClassifier, VerdictFusion
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    traces = collect_traces(["YouTube", "WhatsApp", "Skype"],
+                            traces_per_app=2, duration_s=10.0, seed=5)
+    model = HierarchicalFingerprinter(n_trees=8, max_depth=8)
+    model.fit(windows_from_traces(traces))
+    return model, traces
+
+
+class TestOnlineClassifier:
+    @pytest.mark.parametrize("chunk_records", [1, 37, 500])
+    def test_trace_verdict_equals_batch(self, fitted, chunk_records):
+        model, traces = fitted
+        for trace in traces.traces[:3]:
+            classifier = OnlineClassifier(model)
+            for chunk in trace.iter_chunks(chunk_records):
+                classifier.ingest("cell", *chunk)
+            classifier.finish("cell")
+            streaming = classifier.trace_verdict("cell")
+            batch = model.classify_trace(trace)
+            assert streaming.app == batch.app
+            assert streaming.category == batch.category
+            assert streaming.confidence == batch.confidence
+            assert streaming.window_count == batch.window_count
+
+    def test_window_verdicts_are_ordered_and_labelled(self, fitted):
+        model, traces = fitted
+        classifier = OnlineClassifier(model)
+        verdicts = []
+        for chunk in traces.traces[0].iter_chunks(64):
+            verdicts.extend(classifier.ingest("c0", *chunk))
+        verdicts.extend(classifier.finish("c0"))
+        assert [v.index for v in verdicts] == list(range(len(verdicts)))
+        assert all(v.source == "c0" for v in verdicts)
+        assert all(v.win_end_s > v.win_start_s for v in verdicts)
+        assert all(v.lag_s >= 0.0 for v in verdicts)
+
+    def test_vote_counts_match_batch_predictions(self, fitted):
+        model, traces = fitted
+        trace = traces.traces[1]
+        classifier = OnlineClassifier(model)
+        for chunk in trace.iter_chunks(25):
+            classifier.ingest("c0", *chunk)
+        classifier.finish("c0")
+        from repro.core.features import extract_features
+
+        X = extract_features(trace, model.window_config)
+        batch_votes = np.bincount(
+            model.predict_apps(X),
+            minlength=model._require_fit().app_encoder.n_classes)
+        assert np.array_equal(classifier.vote_counts("c0"), batch_votes)
+
+    def test_unseen_source_has_no_verdict(self, fitted):
+        model, _ = fitted
+        classifier = OnlineClassifier(model)
+        assert classifier.trace_verdict("ghost") is None
+
+    def test_sources_in_first_ingest_order(self, fitted):
+        model, traces = fitted
+        classifier = OnlineClassifier(model)
+        chunk = next(traces.traces[0].iter_chunks(50))
+        classifier.ingest("b", *chunk)
+        classifier.ingest("a", *chunk)
+        assert classifier.sources == ["b", "a"]
+
+
+class TestVerdictFusion:
+    def test_fuses_across_cells(self, fitted):
+        model, traces = fitted
+        fusion = VerdictFusion(model)
+        total = 0
+        for cell, trace in zip(("cell-a", "cell-b"), traces.traces[:2]):
+            classifier = OnlineClassifier(model)
+            verdicts = []
+            for chunk in trace.iter_chunks(50):
+                verdicts.extend(classifier.ingest(cell, *chunk))
+            verdicts.extend(classifier.finish(cell))
+            fusion.add("victim", cell, verdicts)
+            total += len(verdicts)
+        fused = fusion.fused("victim")
+        assert fused.window_count == total
+        assert fused.cells == ("cell-a", "cell-b")
+        assert 0.0 < fused.confidence <= 1.0
+        assert fusion.all_fused() == [fused]
+
+    def test_fusion_equals_merged_bincount(self, fitted):
+        model, traces = fitted
+        fusion = VerdictFusion(model)
+        merged = np.zeros(model._require_fit().app_encoder.n_classes,
+                          dtype=np.int64)
+        for cell, trace in zip(("a", "b"), traces.traces[2:4]):
+            classifier = OnlineClassifier(model)
+            verdicts = []
+            for chunk in trace.iter_chunks(100):
+                verdicts.extend(classifier.ingest(cell, *chunk))
+            verdicts.extend(classifier.finish(cell))
+            fusion.add("v", cell, verdicts)
+            merged += classifier.vote_counts(cell)
+        fused = fusion.fused("v")
+        app_id = int(np.argmax(merged))
+        assert fused.app == model._require_fit().app_encoder.classes_[
+            app_id]
+        assert fused.confidence == float(merged[app_id] / merged.sum())
+
+    def test_empty_victim_is_none(self, fitted):
+        model, _ = fitted
+        fusion = VerdictFusion(model)
+        assert fusion.fused("nobody") is None
+        fusion.add("quiet", "cell", [])
+        assert fusion.fused("quiet") is None

@@ -1,0 +1,140 @@
+"""End-to-end service tests: interleaving, JSONL output, obs wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.dataset import collect_traces, windows_from_traces
+from repro.core.fingerprint import HierarchicalFingerprinter
+from repro.stream import StreamService, interleave_chunks
+from repro.stream.service import ServiceReport
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    traces = collect_traces(["YouTube", "WhatsApp", "Skype"],
+                            traces_per_app=2, duration_s=10.0, seed=5)
+    model = HierarchicalFingerprinter(n_trees=8, max_depth=8)
+    model.fit(windows_from_traces(traces))
+    return model, traces
+
+
+class TestInterleave:
+    def test_event_time_order_with_stable_ties(self, fitted):
+        _, traces = fitted
+        feeds = traces.traces[:3]
+        seen = [[] for _ in feeds]
+        last_start = None
+        for index, chunk in interleave_chunks(feeds, 64):
+            start = float(chunk[0][0])
+            if last_start is not None:
+                assert start >= last_start or seen[index]
+            last_start = start
+            seen[index].append(chunk)
+        for trace, chunks in zip(feeds, seen):
+            rebuilt = np.concatenate([chunk[0] for chunk in chunks])
+            assert np.array_equal(rebuilt, trace.times_s)
+
+    def test_deterministic(self, fitted):
+        _, traces = fitted
+        feeds = traces.traces[:2]
+        first = [(i, chunk[0][0]) for i, chunk in
+                 interleave_chunks(feeds, 32)]
+        second = [(i, chunk[0][0]) for i, chunk in
+                  interleave_chunks(feeds, 32)]
+        assert first == second
+
+
+class TestStreamService:
+    def test_run_report_and_jsonl(self, fitted, tmp_path):
+        model, traces = fitted
+        out = tmp_path / "verdicts.jsonl"
+        service = StreamService(
+            model, [("cell-a", traces.traces[0]),
+                    ("cell-b", traces.traces[1])],
+            chunk_records=50, out_path=out)
+        report = service.run()
+        assert isinstance(report, ServiceReport)
+        assert report.records == sum(len(t) for t in traces.traces[:2])
+        assert report.windows > 0
+        assert report.ring_high_water > 0
+        assert report.lag_p99_s >= 0.0
+        lines = [json.loads(line)
+                 for line in out.read_text().splitlines()]
+        windows = [line for line in lines if line["type"] == "window"]
+        trace_lines = [line for line in lines if line["type"] == "trace"]
+        fused_lines = [line for line in lines if line["type"] == "fused"]
+        assert len(windows) == report.windows
+        assert {line["source"] for line in trace_lines} \
+            == {"cell-a", "cell-b"}
+        assert fused_lines  # both traces share user="victim"
+        assert fused_lines[0]["window_count"] == report.windows
+
+    def test_verdicts_match_batch_classification(self, fitted):
+        model, traces = fitted
+        trace = traces.traces[0]
+        service = StreamService(model, [("only", trace)],
+                                chunk_records=33)
+        report = service.run()
+        batch = model.classify_trace(trace)
+        streaming = report.trace_verdicts["only"]
+        assert streaming.app == batch.app
+        assert streaming.confidence == batch.confidence
+        assert streaming.window_count == batch.window_count
+
+    def test_byte_identical_output_across_runs(self, fitted, tmp_path):
+        model, traces = fitted
+        sources = [("a", traces.traces[0]), ("b", traces.traces[1])]
+        outputs = []
+        for name in ("one.jsonl", "two.jsonl"):
+            out = tmp_path / name
+            StreamService(model, sources, chunk_records=64,
+                          out_path=out).run()
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+
+    def test_obs_instruments_populated(self, fitted):
+        model, traces = fitted
+        with obs.override(True):
+            obs.reset()
+            service = StreamService(model, [("c0", traces.traces[0])],
+                                    chunk_records=100)
+            report = service.run()
+            snapshot = obs.snapshot()
+        counters = snapshot["counters"]
+        assert counters["stream.records_ingested"] == report.records
+        assert counters["stream.windows_closed"] == report.windows
+        assert counters["stream.verdicts"] == report.verdict_count
+        assert "stream.records_dropped" in counters
+        gauges = snapshot["gauges"]
+        assert gauges["stream.model_bytes"] > 0
+        assert "stream.ring_occupancy" in gauges
+        assert "stream.backlog" in gauges
+        histogram = snapshot["histograms"]["stream.window_close_lag_s"]
+        assert histogram["n"] == report.windows
+        assert "stream.ingest" in snapshot["spans"]
+
+    def test_rejects_bad_construction(self, fitted):
+        model, traces = fitted
+        with pytest.raises(ValueError):
+            StreamService(model, [], chunk_records=10)
+        with pytest.raises(ValueError):
+            StreamService(model, [("a", traces.traces[0])],
+                          chunk_records=0)
+        with pytest.raises(ValueError):
+            StreamService(model, [("a", traces.traces[0]),
+                                  ("a", traces.traces[1])])
+
+    def test_on_control_routes_to_cell(self, fitted):
+        from repro.lte.rrc import RRCConnectionRelease
+
+        model, traces = fitted
+        service = StreamService(model, [("c0", traces.traces[0])])
+        message = RRCConnectionRelease(time_us=0, crnti=0x100)
+        service.on_control("c0", message)
+        assert service.mapper("c0") is not None
+        assert service.tracker("c0") is not None
+        with pytest.raises(KeyError):
+            service.on_control("ghost", message)
