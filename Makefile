@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-faults bench bench-features bench-smoke \
-	bench-lint bench-sim bench-infer bench-stream clean-cache lint report
+	bench-lint bench-sim bench-infer bench-stream clean-cache lint \
+	lint-changed report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -42,7 +43,14 @@ bench-smoke:
 lint:
 	$(PYTHON) -m repro.cli lint src
 
-## Full-repo lint wall time (target < 2 s); writes BENCH_lint.json.
+## Incremental lint: only files changed since BASE (default HEAD) plus
+## their import dependents.  Warm-cache runs finish in milliseconds.
+BASE ?= HEAD
+lint-changed:
+	$(PYTHON) -m repro.cli lint src --changed $(BASE)
+
+## Cold + warm full-repo lint wall time (cold target < 2 s, warm
+## speedup floor 5x); writes BENCH_lint.json.
 bench-lint:
 	$(PYTHON) benchmarks/bench_lint.py
 

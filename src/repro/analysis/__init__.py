@@ -12,17 +12,25 @@ library) enforcing the invariants the reproduction's claims rest on:
   ParallelMap work functions, fingerprinted cache keys, no raw pools
   (PAR0xx);
 * **obs coverage** — complete manifests: ``@obs.timed`` drivers,
-  loop-free instrument registration (OBS0xx).
+  loop-free instrument registration (OBS0xx);
+* **whole-program dataflow** — interprocedural seed provenance and
+  liveness, transitive worker purity, mmap-aliased writes, cache-key
+  completeness (SEED0xx/FLOW0xx/CACHE001), over the import/call graph
+  of :mod:`repro.analysis.graph` and the fixpoint summaries of
+  :mod:`repro.analysis.dataflow`.
 
-Run it as ``python -m repro.cli lint src`` (or ``make lint``); see
-:mod:`repro.analysis.engine` for suppression and baseline semantics,
-and EXPERIMENTS.md for how to add a rule.
+Run it as ``python -m repro.cli lint src`` (or ``make lint``); the
+driver (:mod:`repro.analysis.driver`) adds a content-addressed result
+cache, a ``ParallelMap`` fan-out, and a git-aware ``--changed`` mode.
+See :mod:`repro.analysis.engine` for suppression and baseline
+semantics, and EXPERIMENTS.md for how to add a rule.
 """
 
-from .engine import (Finding, LintResult, Rule, all_rules, lint_paths,
-                     lint_source, register)
+from .driver import LintCache, default_lint_cache_dir, lint_paths
+from .engine import (Finding, LintResult, Rule, all_rules, lint_source,
+                     register)
 
 __all__ = [
-    "Finding", "LintResult", "Rule", "all_rules", "lint_paths",
-    "lint_source", "register",
+    "Finding", "LintCache", "LintResult", "Rule", "all_rules",
+    "default_lint_cache_dir", "lint_paths", "lint_source", "register",
 ]

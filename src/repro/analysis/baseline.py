@@ -1,8 +1,10 @@
 """Baseline files: grandfathered findings that don't fail the build.
 
-A baseline entry fingerprints a finding by *what* it is — (path, rule,
+A baseline entry fingerprints a finding by *what* it is — (rule,
 normalised source line) — not *where* it is, so unrelated edits that
-shift line numbers don't churn the file.  The shipped baseline
+shift line numbers don't churn the file, and a ``git mv`` (version 2
+dropped the path from the fingerprint) doesn't resurrect grandfathered
+findings under their new path.  The shipped baseline
 (``lint-baseline.json``) is empty by policy: new code meets the rules,
 legitimate exceptions use inline ``# repro: noqa[ID]`` with a
 justifying comment, and the baseline exists for bulk-importing legacy
@@ -18,13 +20,17 @@ from typing import Iterable, List, Set, Tuple, Union
 
 from .engine import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 def fingerprint(finding: Finding) -> str:
-    """Location-independent identity of one finding."""
+    """Location-independent identity of one finding.
+
+    Deliberately path-free: the same offending line carries the same
+    fingerprint wherever the file lives, so baselines survive renames.
+    """
     normalised = " ".join(finding.snippet.split())
-    payload = f"{finding.path}\0{finding.rule}\0{normalised}"
+    payload = f"{finding.rule}\0{normalised}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 

@@ -1,0 +1,500 @@
+"""Incremental parallel lint driver: content-addressed cache + fan-out.
+
+``lint_paths`` is the project entry point the CLI, CI, and tests call.
+It layers three things on top of the per-file engine
+(:mod:`repro.analysis.engine`) and the whole-program pass
+(:mod:`repro.analysis.dataflow`):
+
+**A content-addressed result cache.**  Three entry kinds, all JSON
+under ``$REPRO_LINT_CACHE_DIR`` (default: XDG ``repro-lte/lint``),
+written atomically (temp + ``os.replace``) like the trace cache:
+
+* *imports* — a module's raw import targets, keyed on (dotted name,
+  source hash).  A warm run rebuilds the whole import graph without
+  parsing a single file.
+* *file* — the file-scope findings, keyed on (dotted name, source
+  hash, rule-set fingerprint).  Invalidated only by edits to the file
+  itself or to the analyser.
+* *project* — the interprocedural findings attributed to a file, keyed
+  on (rule-set fingerprint, **import-closure hash**): the sorted
+  (dotted, source hash) pairs of every module the file transitively
+  imports.  Editing a dependency anywhere in the closure invalidates
+  exactly the dependents, nothing else.
+
+The rule-set fingerprint is a digest of this package's own sources
+plus the selected rule ids, so editing any rule (or the engine, or the
+dataflow lattice) drops every stale finding without manual versioning.
+
+**Deterministic parallel fan-out.**  Files whose file-entry missed are
+linted through ``ParallelMap.map_batched`` — one task per file, results
+reassembled in submission order and globally sorted, so the output is
+byte-identical for any ``REPRO_WORKERS`` and either backend.
+
+**A git-aware ``--changed`` mode.**  Given a base rev, only files whose
+content changed — or whose *import closure* contains a changed file —
+are linted and reported; the rest are not even read from the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence, Set,
+                    Tuple)
+
+from .engine import (Finding, LintResult, Rule, _dotted_module_name,
+                     _suppressed, iter_python_files, lint_source,
+                     project_findings, resolve_rules, split_rules,
+                     suppressions)
+
+#: Environment knob: overrides the lint-cache directory.
+LINT_CACHE_DIR_ENV = "REPRO_LINT_CACHE_DIR"
+
+#: Bump when the cached payload layout changes shape.
+_CACHE_LAYOUT = 1
+
+_RULES_FINGERPRINT: Optional[str] = None
+
+
+def rules_fingerprint() -> str:
+    """Digest of the analysis package's own sources (cached per process).
+
+    Any edit to a rule, the engine, or the dataflow layer yields a new
+    fingerprint and therefore a disjoint key space — stale findings are
+    never returned, only orphaned on disk.
+    """
+    global _RULES_FINGERPRINT
+    if _RULES_FINGERPRINT is None:
+        root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        digest.update(f"layout:{_CACHE_LAYOUT}".encode())
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _RULES_FINGERPRINT = digest.hexdigest()
+    return _RULES_FINGERPRINT
+
+
+def default_lint_cache_dir() -> Path:
+    """``$REPRO_LINT_CACHE_DIR`` or the XDG cache home."""
+    env = os.environ.get(LINT_CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-lte" / "lint"
+
+
+class LintCache:
+    """Content-addressed JSON store for lint results.
+
+    A much smaller sibling of :class:`repro.runtime.cache.TraceCache`:
+    same atomic-replace write discipline, no LRU bound (entries are a
+    few hundred bytes; the rule-set fingerprint already retires stale
+    generations wholesale).
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = (Path(directory) if directory is not None
+                          else default_lint_cache_dir())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or ``None`` (counts a miss)."""
+        try:
+            with open(self._entry_path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` (concurrent writers race safely)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                       suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as out:
+                json.dump(payload, out, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp, self._entry_path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+
+def _key(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+# -- per-file worker (module-level: picklable for the process backend) ------------
+
+
+def _lint_file_task(item: Tuple[str, str, Optional[Tuple[str, ...]]]
+                    ) -> Tuple[List[dict], int]:
+    """File-scope lint of one (path, source): runs in pool workers."""
+    path_str, source, select = item
+    rules = resolve_rules(None, select)
+    file_rules, _ = split_rules(rules)
+    result = lint_source(source, Path(path_str), rules=file_rules)
+    return [finding.as_dict() for finding in result.findings], result.suppressed
+
+
+def _finding_from_dict(payload: dict, path: Path) -> Finding:
+    """Rebuild a finding, re-anchoring ``path`` (keys are path-free)."""
+    data = dict(payload)
+    data["path"] = path.as_posix()
+    return Finding(**data)
+
+
+def _strip_path(finding: Finding) -> dict:
+    data = finding.as_dict()
+    del data["path"]
+    return data
+
+
+# -- git integration ---------------------------------------------------------------
+
+
+def git_changed_files(base: str,
+                      anchor: Optional[Path] = None) -> Optional[Set[Path]]:
+    """Resolved paths of ``.py`` files changed since ``base``.
+
+    Diff against ``base`` plus untracked files, run from ``anchor`` (a
+    directory inside the repository being linted); ``None`` when git is
+    unavailable or ``base`` does not resolve (callers fall back to a
+    full lint rather than silently reporting nothing).
+    """
+    cwd = str(anchor) if anchor is not None else None
+
+    def run(*args: str) -> str:
+        proc = subprocess.run(["git", *args], capture_output=True,
+                              text=True, cwd=cwd)
+        if proc.returncode != 0:
+            raise OSError(proc.stderr.strip())
+        return proc.stdout
+
+    try:
+        top = Path(run("rev-parse", "--show-toplevel").strip())
+        diff = run("diff", "--name-only", "-z", base)
+        untracked = run("ls-files", "--others", "--exclude-standard", "-z")
+    except OSError:
+        return None
+    changed: Set[Path] = set()
+    for chunk in (diff, untracked):
+        for name in chunk.split("\0"):
+            if not name.endswith(".py"):
+                continue
+            try:
+                changed.add((top / name).resolve())
+            except OSError:
+                continue
+    return changed
+
+
+# -- the driver -------------------------------------------------------------------
+
+
+class _FileState:
+    """Everything the driver tracks about one scanned file."""
+
+    __slots__ = ("path", "source", "source_hash", "dotted", "targets",
+                 "tree", "parse_error")
+
+    def __init__(self, path: Path, source: str, source_hash: str,
+                 dotted: str) -> None:
+        self.path = path
+        self.source = source
+        self.source_hash = source_hash
+        self.dotted = dotted
+        self.targets: List[str] = []
+        self.tree = None
+        self.parse_error = False
+
+    def parse(self) -> None:
+        """Parse (once) and extract import targets via the symbol table."""
+        import ast
+
+        from .graph import module_symbols
+
+        if self.tree is not None or self.parse_error:
+            return
+        try:
+            self.tree = ast.parse(self.source, filename=str(self.path))
+        except SyntaxError:
+            self.parse_error = True
+            return
+        self.targets = list(module_symbols(self.path, self.tree).import_targets)
+
+
+def _import_closures(states: Sequence[_FileState]
+                     ) -> Dict[str, FrozenSet[str]]:
+    """Forward import closure per dotted module (mirrors ProjectGraph).
+
+    Works from the cached raw import targets, so a warm run computes
+    closures without a single parse.  Dotted-name collisions keep the
+    first file in scan order, matching ``ProjectGraph``.
+    """
+    targets_by_dotted: Dict[str, List[str]] = {}
+    for state in states:
+        targets_by_dotted.setdefault(state.dotted, state.targets)
+    known = set(targets_by_dotted)
+
+    def internal(target: str) -> Optional[str]:
+        parts = target.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in known:
+                return prefix
+        return None
+
+    edges: Dict[str, Set[str]] = {}
+    for dotted, targets in targets_by_dotted.items():
+        deps = set()
+        for target in targets:
+            resolved = internal(target)
+            if resolved is not None and resolved != dotted:
+                deps.add(resolved)
+        edges[dotted] = deps
+
+    closures: Dict[str, FrozenSet[str]] = {}
+    for dotted in targets_by_dotted:
+        if dotted in closures:
+            continue
+        closure: Set[str] = set()
+        stack = [dotted]
+        while stack:
+            current = stack.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            stack.extend(sorted(edges.get(current, ())))
+        closures[dotted] = frozenset(closure)
+    return closures
+
+
+def lint_paths(paths: Iterable[Path],
+               rules: Optional[Sequence[Rule]] = None,
+               select: Optional[Iterable[str]] = None, *,
+               cache: Optional[LintCache] = None,
+               workers: Optional[int] = None,
+               changed_base: Optional[str] = None) -> LintResult:
+    """Lint files/trees: cached, parallel, optionally git-incremental.
+
+    Args:
+        paths: files or directory trees to scan.
+        rules: explicit rule instances (tests); overrides ``select``.
+        select: rule ids to run; ``None`` runs the whole registry.
+        cache: a :class:`LintCache` to consult/populate; ``None``
+            disables caching (the library default — the CLI opts in).
+        workers: fan-out width; ``None`` reads ``REPRO_WORKERS``.
+        changed_base: a git rev; lint only files changed since it or
+            whose import closure contains a changed file.  Falls back
+            to a full lint when git cannot answer.
+    """
+    paths = [Path(path) for path in paths]
+    rule_list = resolve_rules(rules, select)
+    file_rules, project_rules = split_rules(rule_list)
+    select_ids = (None if select is None
+                  else tuple(dict.fromkeys(select)))
+    ruleset_fp = _key(rules_fingerprint(),
+                      ",".join(sorted(rule.id for rule in rule_list)))
+    # Explicit rule instances may not round-trip through the registry
+    # (tests register ad-hoc rules); they bypass cache and fan-out.
+    cacheable = rules is None
+
+    states: List[_FileState] = []
+    for path in iter_python_files(paths):
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            continue
+        states.append(_FileState(
+            path=path, source=raw.decode("utf-8", errors="replace"),
+            source_hash=hashlib.sha256(raw).hexdigest(),
+            dotted=_dotted_module_name(path)))
+
+    # Phase 1: import targets (cached on source hash — warm runs never
+    # parse), then forward closures over the lightweight import graph.
+    for state in states:
+        entry = None
+        imports_key = _key("imports", str(_CACHE_LAYOUT), state.dotted,
+                           state.source_hash)
+        if cache is not None:
+            entry = cache.load(imports_key)
+        if entry is not None:
+            state.targets = list(entry.get("targets", []))
+            state.parse_error = bool(entry.get("error", False))
+        else:
+            state.parse()
+            if cache is not None:
+                cache.store(imports_key, {"targets": state.targets,
+                                          "error": state.parse_error})
+    closures = _import_closures(states)
+    hash_by_dotted: Dict[str, str] = {}
+    for state in states:
+        hash_by_dotted.setdefault(state.dotted, state.source_hash)
+
+    def closure_hash(state: _FileState) -> str:
+        members = sorted(
+            f"{dotted}={hash_by_dotted.get(dotted, '')}"
+            for dotted in closures.get(state.dotted, (state.dotted,)))
+        return _key("closure", *members)
+
+    # Phase 2: --changed narrowing (reported set = changed + dependents).
+    reported = states
+    if changed_base is not None:
+        anchor = None
+        for candidate in paths:
+            if candidate.is_dir():
+                anchor = candidate
+                break
+            if candidate.parent.is_dir():
+                anchor = candidate.parent
+                break
+        changed = git_changed_files(changed_base, anchor)
+        if changed is not None:
+            changed_dotted = set()
+            for state in states:
+                try:
+                    resolved = state.path.resolve()
+                except OSError:
+                    resolved = state.path
+                if resolved in changed:
+                    changed_dotted.add(state.dotted)
+            reported = [
+                state for state in states
+                if closures.get(state.dotted, frozenset()) & changed_dotted]
+
+    # Phase 3: file-scope findings — cache hits first, then one fan-out
+    # over the misses (order restored by indexing, then a global sort).
+    file_results: Dict[Path, Tuple[List[Finding], int]] = {}
+    missing: List[_FileState] = []
+    file_keys: Dict[Path, str] = {}
+    for state in reported:
+        entry = None
+        if cache is not None and cacheable:
+            file_keys[state.path] = _key(
+                "file", str(_CACHE_LAYOUT), ruleset_fp, state.dotted,
+                state.source_hash)
+            entry = cache.load(file_keys[state.path])
+        if entry is not None:
+            file_results[state.path] = (
+                [_finding_from_dict(f, state.path)
+                 for f in entry.get("findings", [])],
+                int(entry.get("suppressed", 0)))
+        else:
+            missing.append(state)
+    if missing:
+        items = [(state.path.as_posix(), state.source, select_ids)
+                 for state in missing]
+        if cacheable:
+            outputs = _fan_out(items, workers)
+        else:
+            outputs = []
+            for state in missing:
+                result = lint_source(state.source, state.path,
+                                     rules=file_rules)
+                outputs.append(([f.as_dict() for f in result.findings],
+                                result.suppressed))
+        for state, (findings, suppressed) in zip(missing, outputs):
+            file_results[state.path] = (
+                [_finding_from_dict(f, state.path) for f in findings],
+                suppressed)
+            if cache is not None and cacheable:
+                cache.store(file_keys[state.path],
+                            {"findings": [_strip_path(f) for f in
+                                          file_results[state.path][0]],
+                             "suppressed": suppressed})
+
+    # Phase 4: project-scope findings — per-file entries keyed on the
+    # import-closure hash; any miss re-analyses the whole project once.
+    project_results: Dict[Path, Tuple[List[Finding], int]] = {}
+    if project_rules:
+        project_missing: List[_FileState] = []
+        project_keys: Dict[Path, str] = {}
+        for state in reported:
+            entry = None
+            if cache is not None and cacheable:
+                project_keys[state.path] = _key(
+                    "project", str(_CACHE_LAYOUT), ruleset_fp,
+                    closure_hash(state))
+                entry = cache.load(project_keys[state.path])
+            if entry is not None:
+                project_results[state.path] = (
+                    [_finding_from_dict(f, state.path)
+                     for f in entry.get("findings", [])],
+                    int(entry.get("suppressed", 0)))
+            else:
+                project_missing.append(state)
+        if project_missing:
+            from .dataflow import analyze_project
+
+            for state in states:
+                state.parse()
+            entries = [(state.path, state.source, state.tree)
+                       for state in states if state.tree is not None]
+            analysis = analyze_project(entries)
+            raw = project_findings(analysis, project_rules)
+            by_path: Dict[str, List[Tuple[Finding, Set[int]]]] = {}
+            for finding, anchors in raw:
+                by_path.setdefault(finding.path, []).append(
+                    (finding, anchors))
+            for state in project_missing:
+                pairs = by_path.get(state.path.as_posix(), [])
+                if pairs:
+                    noqa = suppressions(state.source)
+                    kept = [f for f, anchors in pairs
+                            if not _suppressed(f.rule, anchors, noqa)]
+                    kept.sort()
+                else:
+                    kept = []
+                suppressed = len(pairs) - len(kept)
+                project_results[state.path] = (kept, suppressed)
+                if cache is not None and cacheable:
+                    cache.store(project_keys[state.path],
+                                {"findings": [_strip_path(f) for f in kept],
+                                 "suppressed": suppressed})
+
+    findings: List[Finding] = []
+    suppressed_total = 0
+    for state in reported:
+        for bucket in (file_results, project_results):
+            kept, suppressed = bucket.get(state.path, ([], 0))
+            findings.extend(kept)
+            suppressed_total += suppressed
+    findings.sort()
+    return LintResult(findings=findings, files_scanned=len(reported),
+                      suppressed=suppressed_total)
+
+
+def _fan_out(items: List[Tuple[str, str, Optional[Tuple[str, ...]]]],
+             workers: Optional[int]) -> List[Tuple[List[dict], int]]:
+    """Run the per-file tasks through ParallelMap (serial on failure)."""
+    try:
+        from ..runtime.parallel import ParallelMap
+    except Exception:
+        return [_lint_file_task(item) for item in items]
+    return ParallelMap(workers=workers).map_batched(_lint_file_task, items)

@@ -130,15 +130,19 @@ class Rule:
 
     Attributes:
         id: stable rule identifier (``<FAMILY-PREFIX><NNN>``).
-        family: one of ``determinism``/``numeric``/``parallel``/``obs``.
+        family: ``determinism``/``numeric``/``parallel``/``obs``/
+            ``dataflow``.
         title: one-line summary shown by ``lint --list-rules``.
         node_types: AST node classes this rule wants dispatched.
+        scope: ``"file"`` (per-file dispatch, the default) or
+            ``"project"`` (whole-program, via :class:`ProjectRule`).
     """
 
     id: str = ""
     family: str = ""
     title: str = ""
     node_types: Tuple[Type[ast.AST], ...] = ()
+    scope: str = "file"
 
     def applies_to(self, module: ModuleContext) -> bool:
         """Per-file scoping hook (checked once per file)."""
@@ -147,6 +151,29 @@ class Rule:
     def check(self, node: ast.AST,
               module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
         """Yield ``(node, message)`` for each violation found."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: sees the project analysis, not one node.
+
+    Project rules run once per lint invocation over the interprocedural
+    summaries (:mod:`repro.analysis.dataflow`) instead of once per node
+    per file.  ``node_types`` is unused but kept non-empty so
+    :func:`register` validates uniformly.
+    """
+
+    scope = "project"
+    node_types = (ast.Module,)
+
+    def check_project(self, analysis):
+        """Yield ``(symbols, node, message)`` triples for violations.
+
+        ``symbols`` is the :class:`~repro.analysis.graph.ModuleSymbols`
+        of the module the finding belongs to; ``node`` anchors the
+        location (and the noqa statement anchor).
+        """
         raise NotImplementedError
         yield  # pragma: no cover
 
@@ -283,11 +310,38 @@ def suppressions(source: str) -> Dict[int, Set[str]]:
     return out
 
 
-def _suppressed(finding: Finding, noqa: Dict[int, Set[str]]) -> bool:
-    ids = noqa.get(finding.line)
-    if not ids:
-        return False
-    return _ALL_RULES in ids or finding.rule in ids
+def anchor_lines(where: ast.AST,
+                 parents: Dict[ast.AST, ast.AST]) -> Set[int]:
+    """Lines where a ``# repro: noqa`` suppresses a finding at ``where``.
+
+    The reported line itself, plus the first line of the innermost
+    enclosing *statement* (so a suppression on the first line of a
+    multi-line call covers findings on its continuation lines), plus
+    the first decorator line for findings anchored at a decorated
+    def/class header.
+    """
+    lines: Set[int] = set()
+    reported = getattr(where, "lineno", None)
+    if reported is not None:
+        lines.add(reported)
+    node: Optional[ast.AST] = where
+    while node is not None and not isinstance(node, ast.stmt):
+        node = parents.get(node)
+    if isinstance(node, ast.stmt):
+        lines.add(node.lineno)
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            lines.add(min(d.lineno for d in decorators))
+    return lines
+
+
+def _suppressed(rule_id: str, anchors: Set[int],
+                noqa: Dict[int, Set[str]]) -> bool:
+    for line in anchors:
+        ids = noqa.get(line)
+        if ids and (_ALL_RULES in ids or rule_id in ids):
+            return True
+    return False
 
 
 # -- per-file / per-tree entry points ---------------------------------------------
@@ -306,11 +360,25 @@ class LintResult:
         return not self.findings
 
 
+def split_rules(rules: Sequence[Rule]
+                ) -> Tuple[List[Rule], List[Rule]]:
+    """Partition into (file-scope, project-scope) rule lists."""
+    file_rules = [r for r in rules if r.scope != "project"]
+    project_rules = [r for r in rules if r.scope == "project"]
+    return file_rules, project_rules
+
+
 def lint_source(source: str, path: Path,
                 rules: Optional[Sequence[Rule]] = None) -> LintResult:
-    """Lint one already-read source string (single parse, single walk)."""
+    """Lint one already-read source string (single parse, single walk).
+
+    Project-scope rules run too, over a one-module project — so fixture
+    tests exercise the semantic rules exactly like the full driver does
+    (minus cross-module edges, which need :func:`lint_paths`).
+    """
     if rules is None:
         rules = list(all_rules().values())
+    file_rules, project_rules = split_rules(rules)
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
@@ -321,70 +389,97 @@ def lint_source(source: str, path: Path,
                           snippet="")
         return LintResult(findings=[finding], files_scanned=1, suppressed=0)
     module = ModuleContext(path, source, tree)
-    active = [rule for rule in rules if rule.applies_to(module)]
+    raw: List[Tuple[Finding, Set[int]]] = []
+    active = [rule for rule in file_rules if rule.applies_to(module)]
     dispatch: Dict[Type[ast.AST], List[Rule]] = {}
     for rule in active:
         for node_type in rule.node_types:
             dispatch.setdefault(node_type, []).append(rule)
-    raw: List[Finding] = []
     for node in ast.walk(tree):
         for rule in dispatch.get(type(node), ()):
             for where, message in rule.check(node, module):
                 line = getattr(where, "lineno", 1)
-                raw.append(Finding(
+                raw.append((Finding(
                     path=path.as_posix(), line=line,
                     col=getattr(where, "col_offset", 0),
                     rule=rule.id, family=rule.family, message=message,
-                    snippet=module.line_text(line)))
+                    snippet=module.line_text(line)),
+                    anchor_lines(where, module.parents)))
+    if project_rules:
+        from .dataflow import analyze_project
+
+        analysis = analyze_project([(path, source, tree)])
+        raw.extend(project_findings(analysis, project_rules))
     noqa = suppressions(source)
-    findings = [f for f in raw if not _suppressed(f, noqa)]
+    findings = [f for f, anchors in raw
+                if not _suppressed(f.rule, anchors, noqa)]
     findings.sort()
     return LintResult(findings=findings, files_scanned=1,
                       suppressed=len(raw) - len(findings))
 
 
+def project_findings(analysis, project_rules: Sequence[Rule]
+                     ) -> List[Tuple[Finding, Set[int]]]:
+    """Run project-scope rules; findings paired with noqa anchors."""
+    out: List[Tuple[Finding, Set[int]]] = []
+    for rule in project_rules:
+        for symbols, where, message in rule.check_project(analysis):
+            line = getattr(where, "lineno", 1)
+            parents = analysis.parents.get(symbols.dotted, {})
+            out.append((Finding(
+                path=symbols.path.as_posix(), line=line,
+                col=getattr(where, "col_offset", 0),
+                rule=rule.id, family=rule.family, message=message,
+                snippet=analysis.line_text(symbols.dotted, line)),
+                anchor_lines(where, parents)))
+    return out
+
+
 def iter_python_files(paths: Iterable[Path]) -> List[Path]:
-    """Every ``.py`` under the given files/trees, deterministically ordered."""
-    out: Set[Path] = set()
+    """Every ``.py`` under the given files/trees, deterministically
+    ordered and duplicate-safe.
+
+    Files are deduplicated by *resolved* path, so a symlink next to its
+    target (or the same tree passed twice) yields one entry; of several
+    aliases the lexicographically smallest scanned path is kept.  The
+    parallel driver's deterministic merge depends on this ordering.
+    """
+    found: Dict[Path, Path] = {}
+
+    def _add(candidate: Path) -> None:
+        try:
+            resolved = candidate.resolve()
+        except OSError:
+            resolved = candidate
+        existing = found.get(resolved)
+        if existing is None or candidate.as_posix() < existing.as_posix():
+            found[resolved] = candidate
+
     for path in paths:
         path = Path(path)
         if path.is_dir():
-            out.update(p for p in path.rglob("*.py")
-                       if "__pycache__" not in p.parts
-                       and not any(part.startswith(".") for part in p.parts))
+            for candidate in path.rglob("*.py"):
+                if "__pycache__" in candidate.parts:
+                    continue
+                if any(part.startswith(".")
+                       for part in candidate.parts):
+                    continue
+                _add(candidate)
         elif path.suffix == ".py":
-            out.add(path)
-    return sorted(out, key=lambda p: p.as_posix())
+            _add(path)
+    return sorted(found.values(), key=lambda p: p.as_posix())
 
 
-def lint_paths(paths: Iterable[Path],
-               rules: Optional[Sequence[Rule]] = None,
-               select: Optional[Iterable[str]] = None) -> LintResult:
-    """Lint every python file under ``paths``.
-
-    Args:
-        paths: files and/or directories to scan.
-        rules: explicit rule instances (defaults to the full registry).
-        select: restrict to these rule ids (unknown ids raise).
-    """
-    if rules is None:
-        registry = all_rules()
-        if select is not None:
-            wanted = list(select)
-            unknown = sorted(set(wanted) - set(registry))
-            if unknown:
-                raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
-            rules = [registry[rule_id] for rule_id in wanted]
-        else:
-            rules = list(registry.values())
-    findings: List[Finding] = []
-    suppressed = 0
-    files = iter_python_files(paths)
-    for path in files:
-        result = lint_source(path.read_text(encoding="utf-8"), path,
-                             rules=rules)
-        findings.extend(result.findings)
-        suppressed += result.suppressed
-    findings.sort()
-    return LintResult(findings=findings, files_scanned=len(files),
-                      suppressed=suppressed)
+def resolve_rules(rules: Optional[Sequence[Rule]] = None,
+                  select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Explicit rules, or the registry filtered by ``select``."""
+    if rules is not None:
+        return list(rules)
+    registry = all_rules()
+    if select is not None:
+        wanted = list(select)
+        unknown = sorted(set(wanted) - set(registry))
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
+        return [registry[rule_id] for rule_id in wanted]
+    return list(registry.values())

@@ -1,10 +1,14 @@
 """Reporters: render a :class:`~repro.analysis.engine.LintResult`.
 
-Two formats, chosen by ``lint --format``:
+Three formats, chosen by ``lint --format``:
 
 * **text** — one ``path:line:col: RULE message`` line per finding plus
   a per-rule summary table, for humans and CI logs;
-* **json** — a versioned document (schema below) for tooling.
+* **json** — a versioned document (schema below) for tooling;
+* **sarif** — a minimal SARIF 2.1.0 log (one run, the full rule
+  catalogue, one result per finding) for code-scanning UIs.  The
+  document is deterministic: rules sorted by id, results in the
+  engine's sorted finding order, keys sorted on serialisation.
 
 JSON schema (version 1)::
 
@@ -75,3 +79,59 @@ def as_document(result: LintResult, baselined: int = 0) -> dict:
 def render_json(result: LintResult, baselined: int = 0) -> str:
     return json.dumps(as_document(result, baselined=baselined),
                       indent=2, sort_keys=True)
+
+
+#: SARIF fixed header fields (2.1.0 is what code-scanning consumers pin).
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def as_sarif(result: LintResult) -> dict:
+    """The SARIF 2.1.0 log as a plain dict (deterministic ordering)."""
+    from .engine import all_rules
+
+    registry = all_rules()
+    rules = [
+        {
+            "id": rule_id,
+            "name": type(registry[rule_id]).__name__,
+            "shortDescription": {"text": registry[rule_id].title},
+            "properties": {"family": registry[rule_id].family},
+        }
+        for rule_id in sorted(registry)
+    ]
+    results = []
+    for finding in result.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    return json.dumps(as_sarif(result), indent=2, sort_keys=True)

@@ -11,6 +11,11 @@ Rule families (see the modules for the individual checks):
   picklable, cache keys include the code fingerprint, no raw pools.
 * :mod:`.obscov` — ``OBS0xx``: experiment drivers are ``@obs.timed``,
   instruments are not re-registered inside loops.
+* :mod:`.semantic` — ``SEED0xx``/``FLOW0xx``/``CACHE0xx``: the
+  whole-program family — seed provenance and liveness across call
+  edges, transitive worker purity, mmap-aliased writes, and
+  interprocedural cache-key completeness (see
+  :mod:`repro.analysis.dataflow`).
 """
 
-from . import determinism, numeric, obscov, parallel  # noqa: F401
+from . import determinism, numeric, obscov, parallel, semantic  # noqa: F401

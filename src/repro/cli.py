@@ -223,10 +223,12 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", type=Path,
                       default=[Path("src")],
                       help="files/directories to lint (default: src)")
-    lint.add_argument("--format", default="text", choices=("text", "json"),
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "sarif"),
                       dest="lint_format",
                       help="report format (text: human/CI logs; "
-                           "json: versioned document for tooling)")
+                           "json: versioned document for tooling; "
+                           "sarif: SARIF 2.1.0 for code-scanning UIs)")
     lint.add_argument("--baseline", type=Path, default=None,
                       help="grandfathered-findings file (default: "
                            "lint-baseline.json when it exists)")
@@ -238,6 +240,19 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                      metavar="BASE",
+                      help="lint only files changed since the git rev "
+                           "BASE (default HEAD) or whose import closure "
+                           "contains a changed file")
+    lint.add_argument("--workers", type=int, default=None,
+                      help="parallel lint fan-out width "
+                           "(default: REPRO_WORKERS)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the on-disk lint result cache")
+    lint.add_argument("--cache-dir", type=Path, default=None,
+                      help="lint cache directory (default: "
+                           "REPRO_LINT_CACHE_DIR or the XDG cache home)")
 
     sub.add_parser("list", help="show apps, operators, experiments")
     return parser
@@ -618,8 +633,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.select:
         select = [part.strip() for part in args.select.split(",")
                   if part.strip()]
+    cache = None
+    if not args.no_cache:
+        from .analysis import LintCache
+
+        cache = LintCache(args.cache_dir)
     try:
-        result = lint_paths(args.paths, select=select)
+        result = lint_paths(args.paths, select=select, cache=cache,
+                            workers=args.workers,
+                            changed_base=args.changed)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -643,6 +665,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                             suppressed=result.suppressed)
     if args.lint_format == "json":
         print(report_mod.render_json(result, baselined=baselined))
+    elif args.lint_format == "sarif":
+        print(report_mod.render_sarif(result))
     else:
         print(report_mod.render_text(result, baselined=baselined))
     return 0 if result.ok else 1

@@ -262,7 +262,7 @@ def clock_skew(trace: Trace, rng: np.random.Generator, *,
 
 
 @register_fault("cell_outage")
-def cell_outage(trace: Trace, rng: np.random.Generator, *,
+def cell_outage(trace: Trace, rng: np.random.Generator, *,  # repro: noqa[SEED002] — deterministic transform; rng kept for signature uniformity
                 start_s: float, duration_s: float) -> Trace:
     """Drop every record in the window ``[start_s, start_s + duration_s)``.
 

@@ -47,9 +47,10 @@ class DCIDecoder:
 
     def __init__(self, capture_profile: Optional[ChannelProfile] = None,
                  rng: Optional[random.Random] = None,
-                 drop_non_crnti: bool = True) -> None:
+                 drop_non_crnti: bool = True, seed: int = 0) -> None:
         self._capture = CaptureChannel(capture_profile or ChannelProfile(),
-                                       rng or random.Random(0))
+                                       rng if rng is not None
+                                       else random.Random(seed))
         self._drop_non_crnti = drop_non_crnti
         self._sinks: List[RecordSink] = []
         self._raw_sinks: List[Tuple[RawSink, Optional[RawBatchSink]]] = []

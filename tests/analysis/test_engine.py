@@ -57,6 +57,38 @@ def test_suppression_scan_parses_comma_separated_ids():
     assert suppressions(src) == {1: {"DET001", "NUM002"}}
 
 
+def test_noqa_on_first_line_of_multiline_statement():
+    # The call spans two physical lines and the finding anchors on the
+    # second; a noqa on the statement's first line must still apply.
+    src = ("import time\n"
+           "start = (  # repro: noqa[DET001]\n"
+           "    time.time())\n")
+    result = lint_source(src, FIXTURE)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_noqa_on_decorator_line_covers_the_def():
+    # SEED002 anchors on the ``def`` line; a suppression written on the
+    # decorator (the visual first line of the statement) must count.
+    src = ("import functools\n"
+           "@functools.lru_cache()  # repro: noqa[SEED002]\n"
+           "def simulate(seed, n):\n"
+           "    return list(range(n))\n")
+    result = lint_source(src, FIXTURE)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_noqa_inside_multiline_statement_interior_line():
+    src = ("import time\n"
+           "start = (\n"
+           "    time.time())  # repro: noqa[DET001]\n")
+    result = lint_source(src, FIXTURE)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
 def test_manifest_noqa_exemplar_is_live():
     """The shipped exemplar suppression keeps manifest.py clean."""
     path = Path(__file__).resolve().parents[2] \
@@ -77,7 +109,7 @@ def test_baseline_round_trip(tmp_path):
     assert len(result.findings) == 1
     baseline_file = tmp_path / "baseline.json"
     document = write_baseline(baseline_file, result.findings)
-    assert document["version"] == 1
+    assert document["version"] == 2
     assert len(document["entries"]) == 1
 
     grandfathered = load_baseline(baseline_file)
@@ -108,6 +140,21 @@ def test_baseline_does_not_mask_new_findings(tmp_path):
                               grandfathered)
     assert [f.rule for f in old] == ["DET001"]
     assert [f.rule for f in new] == ["DET002"]
+
+
+def test_baseline_survives_file_move(tmp_path):
+    # Fingerprints carry no path: a `git mv` (same bytes, new location)
+    # keeps every grandfathered finding baselined.
+    src = "import time\nstart = time.time()\n"
+    old = lint_source(src, Path("repro/core/clock.py")).findings
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, old)
+
+    moved = lint_source(src, Path("repro/runtime2/clock.py")).findings
+    assert [fingerprint(f) for f in moved] == [fingerprint(f) for f in old]
+    new, grandfathered = apply_baseline(moved, load_baseline(baseline_file))
+    assert new == []
+    assert len(grandfathered) == 1
 
 
 def test_load_baseline_rejects_other_documents(tmp_path):
@@ -181,3 +228,52 @@ def test_pycache_and_hidden_dirs_are_skipped(tmp_path):
     result = lint_paths([tmp_path])
     assert result.findings == []
     assert result.files_scanned == 1
+
+
+# -- file discovery ----------------------------------------------------------------
+
+
+def test_iter_python_files_is_sorted_and_deduplicated(tmp_path):
+    from repro.analysis.engine import iter_python_files
+
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    for name in ("b.py", "a.py", "c.py"):
+        (tree / name).write_text("VALUE = 1\n")
+    # Overlapping inputs (the tree, a file inside it, the tree again)
+    # must not produce duplicates, and order is path-sorted.
+    files = list(iter_python_files([tmp_path, tree / "b.py", tmp_path]))
+    assert files == sorted(files)
+    assert [p.name for p in files] == ["a.py", "b.py", "c.py"]
+
+
+def test_iter_python_files_symlinked_duplicate_counts_once(tmp_path):
+    from repro.analysis.engine import iter_python_files
+
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    real = tree / "real.py"
+    real.write_text("import time\nx = time.time()\n")
+    try:
+        (tree / "alias.py").symlink_to(real)
+    except OSError:
+        pytest.skip("platform lacks symlink support")
+    files = list(iter_python_files([tmp_path]))
+    # One physical file: the lexicographically-smallest name survives.
+    assert [p.name for p in files] == ["alias.py"]
+    result = lint_paths([tmp_path])
+    assert len(result.findings) == 1
+
+
+def test_iter_python_files_symlink_loop_terminates(tmp_path):
+    from repro.analysis.engine import iter_python_files
+
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "ok.py").write_text("VALUE = 1\n")
+    try:
+        (tree / "loop").symlink_to(tree)
+    except OSError:
+        pytest.skip("platform lacks symlink support")
+    files = list(iter_python_files([tmp_path]))
+    assert [p.name for p in files] == ["ok.py"]
