@@ -2,9 +2,14 @@
 
 A baseline entry fingerprints a finding by *what* it is — (rule,
 normalised source line) — not *where* it is, so unrelated edits that
-shift line numbers don't churn the file, and a ``git mv`` (version 2
-dropped the path from the fingerprint) doesn't resurrect grandfathered
-findings under their new path.  The shipped baseline
+shift line numbers don't churn the file, and a ``git mv`` doesn't
+resurrect grandfathered findings under their new path.  Because the
+fingerprint is path-free, matching is **count-bounded** (version 3):
+each entry records how many identical findings existed when the
+baseline was written, and suppresses at most that many — a brand-new
+violation that happens to have identical source text in some other
+file pushes the count over the recorded bound and fails the build
+instead of being silently grandfathered.  The shipped baseline
 (``lint-baseline.json``) is empty by policy: new code meets the rules,
 legitimate exceptions use inline ``# repro: noqa[ID]`` with a
 justifying comment, and the baseline exists for bulk-importing legacy
@@ -15,12 +20,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import Counter
 from pathlib import Path
-from typing import Iterable, List, Set, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 from .engine import Finding
 
-BASELINE_VERSION = 2
+BASELINE_VERSION = 3
 
 
 def fingerprint(finding: Finding) -> str:
@@ -28,6 +34,7 @@ def fingerprint(finding: Finding) -> str:
 
     Deliberately path-free: the same offending line carries the same
     fingerprint wherever the file lives, so baselines survive renames.
+    The occurrence bound lives in the baseline entry, not here.
     """
     normalised = " ".join(finding.snippet.split())
     payload = f"{finding.rule}\0{normalised}"
@@ -37,12 +44,19 @@ def fingerprint(finding: Finding) -> str:
 def write_baseline(path: Union[str, Path],
                    findings: Iterable[Finding]) -> dict:
     """Serialise ``findings`` as the new baseline; returns the document."""
+    findings = list(findings)
+    counts = Counter(fingerprint(f) for f in findings)
+    representative = {}
+    for finding in sorted(findings,
+                          key=lambda f: (f.path, f.rule, f.line, f.col)):
+        representative.setdefault(fingerprint(finding), finding)
     entries = sorted(
-        {fingerprint(f): f for f in findings}.items(),
+        representative.items(),
         key=lambda item: (item[1].path, item[1].rule, item[0]))
     document = {
         "version": BASELINE_VERSION,
-        "entries": [{"fingerprint": fp, "path": f.path, "rule": f.rule,
+        "entries": [{"fingerprint": fp, "count": counts[fp],
+                     "path": f.path, "rule": f.rule,
                      "snippet": f.snippet} for fp, f in entries],
     }
     Path(path).write_text(json.dumps(document, indent=2, sort_keys=True)
@@ -50,8 +64,8 @@ def write_baseline(path: Union[str, Path],
     return document
 
 
-def load_baseline(path: Union[str, Path]) -> Set[str]:
-    """The fingerprints grandfathered by the baseline at ``path``."""
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Grandfathered fingerprints -> max occurrences, from ``path``."""
     document = json.loads(Path(path).read_text(encoding="utf-8"))
     if not isinstance(document, dict) or "entries" not in document:
         raise ValueError(f"not a lint baseline: {path}")
@@ -59,15 +73,28 @@ def load_baseline(path: Union[str, Path]) -> Set[str]:
     if version != BASELINE_VERSION:
         raise ValueError(
             f"unsupported baseline version {version!r} in {path}")
-    return {entry["fingerprint"] for entry in document["entries"]}
+    return {entry["fingerprint"]: int(entry.get("count", 1))
+            for entry in document["entries"]}
 
 
-def apply_baseline(findings: Iterable[Finding], grandfathered: Set[str]
+def apply_baseline(findings: Iterable[Finding],
+                   grandfathered: Dict[str, int]
                    ) -> Tuple[List[Finding], List[Finding]]:
-    """Split findings into (new, baselined)."""
+    """Split findings into (new, baselined).
+
+    Matching is count-bounded: each fingerprint suppresses at most its
+    recorded occurrence count, in the findings' sorted order, so extra
+    copies of a grandfathered line (new call sites, new files) surface
+    as new findings.
+    """
+    remaining = dict(grandfathered)
     new: List[Finding] = []
     old: List[Finding] = []
     for finding in findings:
-        (old if fingerprint(finding) in grandfathered else new).append(
-            finding)
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
     return new, old

@@ -16,10 +16,13 @@ written atomically (temp + ``os.replace``) like the trace cache:
   hash, rule-set fingerprint).  Invalidated only by edits to the file
   itself or to the analyser.
 * *project* — the interprocedural findings attributed to a file, keyed
-  on (rule-set fingerprint, **import-closure hash**): the sorted
-  (dotted, source hash) pairs of every module the file transitively
-  imports.  Editing a dependency anywhere in the closure invalidates
-  exactly the dependents, nothing else.
+  on (dotted name, source hash, rule-set fingerprint, **import-closure
+  hash**): the closure hash covers the sorted (dotted, source hash)
+  pairs of every module the file transitively imports, so editing a
+  dependency anywhere in the closure invalidates exactly the
+  dependents, nothing else.  The file's own identity is part of the
+  key — modules in an import cycle share a closure, and without it
+  they would share (and clobber) one entry.
 
 The rule-set fingerprint is a digest of this package's own sources
 plus the selected rule ids, so editing any rule (or the engine, or the
@@ -438,8 +441,15 @@ def lint_paths(paths: Iterable[Path],
         for state in reported:
             entry = None
             if cache is not None and cacheable:
+                # The file's own (dotted, hash) pair is in the key even
+                # though it is also a closure member: modules in an
+                # import cycle have identical closures and would
+                # otherwise clobber each other's entry, and the closure
+                # maps collapse dotted-name collisions first-file-wins,
+                # which would let a shadowed file's edits go unseen.
                 project_keys[state.path] = _key(
                     "project", str(_CACHE_LAYOUT), ruleset_fp,
+                    state.dotted, state.source_hash,
                     closure_hash(state))
                 entry = cache.load(project_keys[state.path])
             if entry is not None:

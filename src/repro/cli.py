@@ -664,7 +664,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                             files_scanned=result.files_scanned,
                             suppressed=result.suppressed)
     if args.lint_format == "json":
-        print(report_mod.render_json(result, baselined=baselined))
+        print(report_mod.render_json(result, baselined=baselined,
+                                     cache=cache))
     elif args.lint_format == "sarif":
         print(report_mod.render_sarif(result))
     else:

@@ -127,6 +127,49 @@ def test_unrelated_file_keeps_project_entry(tmp_path, cache):
     assert warm.misses == 3
 
 
+def test_import_cycle_members_get_distinct_project_entries(tmp_path, cache):
+    # Modules in an import cycle share an identical import closure, so
+    # the project key must carry the file's own identity — otherwise
+    # both modules map to one entry, the last store wins, and a warm
+    # run silently drops (or misattributes) findings.
+    tree = write_tree(tmp_path / "tree", {
+        "repro/core/a.py": ("import repro.core.b\n"
+                            "import random\n"
+                            "RNG = random.Random(12345)\n"),
+        "repro/core/b.py": ("import repro.core.a\n"
+                            "def helper(n):\n"
+                            "    return n\n"),
+    })
+    cold = lint_paths([tree], cache=cache)
+    assert any(f.rule == "SEED001" and f.path.endswith("a.py")
+               for f in cold.findings)
+    warm = LintCache(cache.directory)
+    result = lint_paths([tree], cache=warm)
+    assert warm.misses == 0
+    assert render_json(result) == render_json(cold)
+
+
+def test_dotted_collision_edit_invalidates_project_entry(tmp_path, cache):
+    # Two trees carry files with the same dotted name (repro.core.util);
+    # the closure maps collapse the pair first-file-wins, so only the
+    # per-file hash in the project key keeps the shadowed file's cache
+    # entry honest once it is edited: a warm run after the edit must
+    # report exactly what an uncached run reports.
+    tree = write_tree(tmp_path / "tree", {
+        "one/repro/core/util.py": CLEAN,
+        "two/repro/core/util.py": CLEAN,
+    })
+    roots = [tree / "one", tree / "two"]
+    lint_paths(roots, cache=cache)
+    (tree / "two/repro/core/util.py").write_text(DIRTY)
+    warm = LintCache(cache.directory)
+    cached = lint_paths(roots, cache=warm)
+    uncached = lint_paths(roots)
+    assert render_json(cached) == render_json(uncached)
+    assert any(f.path.endswith("two/repro/core/util.py")
+               for f in cached.findings)
+
+
 # -- deterministic parallel fan-out ------------------------------------------------
 
 

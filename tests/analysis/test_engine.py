@@ -109,8 +109,9 @@ def test_baseline_round_trip(tmp_path):
     assert len(result.findings) == 1
     baseline_file = tmp_path / "baseline.json"
     document = write_baseline(baseline_file, result.findings)
-    assert document["version"] == 2
+    assert document["version"] == 3
     assert len(document["entries"]) == 1
+    assert document["entries"][0]["count"] == 1
 
     grandfathered = load_baseline(baseline_file)
     new, old = apply_baseline(result.findings, grandfathered)
@@ -155,6 +156,30 @@ def test_baseline_survives_file_move(tmp_path):
     new, grandfathered = apply_baseline(moved, load_baseline(baseline_file))
     assert new == []
     assert len(grandfathered) == 1
+
+
+def test_baseline_matching_is_count_bounded(tmp_path):
+    # The fingerprint is path-free, so without a bound one baselined
+    # line would grandfather every textually identical violation
+    # anywhere in the tree — including files written afterwards.  Each
+    # entry suppresses at most as many findings as existed at write
+    # time; the extra copy surfaces as new.
+    src = "import time\nstart = time.time()\n"
+    baseline_file = tmp_path / "baseline.json"
+    document = write_baseline(baseline_file,
+                              lint_source(src, FIXTURE).findings)
+    assert document["entries"][0]["count"] == 1
+
+    grandfathered = load_baseline(baseline_file)
+    copies = (lint_source(src, FIXTURE).findings
+              + lint_source(src, Path("repro/core/other.py")).findings)
+    new, old = apply_baseline(copies, grandfathered)
+    assert len(old) == 1
+    assert len(new) == 1
+    # ...and the consumed bound does not leak between calls.
+    new2, old2 = apply_baseline(
+        lint_source(src, FIXTURE).findings, grandfathered)
+    assert new2 == [] and len(old2) == 1
 
 
 def test_load_baseline_rejects_other_documents(tmp_path):

@@ -122,7 +122,7 @@ def test_shipped_baseline_is_empty():
 
     document = json.loads(
         (REPO_ROOT / "lint-baseline.json").read_text())
-    assert document == {"version": 2, "entries": []}
+    assert document == {"version": 3, "entries": []}
 
 
 # -- PR 3 regression: the np.add.at confusion-matrix bug --------------------------
