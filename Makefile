@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-faults bench bench-features bench-smoke \
-	bench-lint bench-sim bench-infer bench-stream clean-cache lint \
-	lint-changed report
+.PHONY: test test-fast test-faults test-scan bench bench-features \
+	bench-smoke bench-lint bench-sim bench-infer bench-stream \
+	clean-cache lint lint-changed report
 
 ## Tier-1: full test suite (what CI runs).
 test:
@@ -19,6 +19,13 @@ test-fast:
 test-faults:
 	$(PYTHON) -m pytest tests/faults tests/properties \
 		tests/integration/test_fault_degradation.py -q
+
+## Attack scanner: the detector-vs-legacy differential harness, golden
+## reports, schema/baseline units, the batch-vs-stream parity suite,
+## and the Hypothesis scan invariants (what the CI scan job runs).
+test-scan:
+	$(PYTHON) -m pytest tests/scan \
+		tests/properties/test_scan_invariants.py -q
 
 ## Component micro-benchmarks with timing enabled (slow; writes results/).
 bench:

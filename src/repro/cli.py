@@ -12,6 +12,9 @@ harness:
   JSONL per-window verdicts, per-source trace verdicts, and fused
   multi-cell judgements;
 * ``experiment`` — regenerate a paper table/figure by name;
+* ``scan`` — run the attack scanner (:mod:`repro.scan`): every attack
+  as a detector emitting confidence-scored findings into one text/JSON
+  report, with suppression baselines and severity exit-code gating;
 * ``bench`` — run the component micro-benchmarks once (timings off),
   ``bench sim`` for the legacy-vs-vector simulator engine benchmark
   (writes ``BENCH_simulator.json``, enforces the speedup floor), or
@@ -181,7 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "countermeasures|fiveg|handover|"
                                  "robustness|ablation")
     experiment.add_argument("--scale", default="fast",
-                            choices=("fast", "full"))
+                            choices=("smoke", "fast", "full"))
     experiment.add_argument("--faults", type=Path, default=None,
                             metavar="PLAN.json",
                             help="fault-injection plan applied to every "
@@ -202,6 +205,47 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--select", default=None,
                        help="pytest -k expression to pick benchmarks")
     _add_runtime_args(bench)
+
+    scan = sub.add_parser(
+        "scan", help="run the attack scanner (repro.scan detectors)")
+    scan.add_argument("--detectors", default=None, metavar="IDS",
+                      help="comma-separated detector ids to run "
+                           "(default: all; dependencies are pulled in)")
+    scan.add_argument("--list-detectors", action="store_true",
+                      help="print the registered detectors and exit")
+    scan.add_argument("--scale", default="fast",
+                      choices=("smoke", "fast", "full"),
+                      help="campaign sizing (smoke: seconds, for CI)")
+    scan.add_argument("--seed", type=int, default=None,
+                      help="override every detector's seed (default: "
+                           "each detector's legacy experiment seed)")
+    scan.add_argument("--environments", default=None, metavar="NAMES",
+                      help="comma-separated operator profiles for the "
+                           "correlation sweep (default: all four)")
+    scan.add_argument("--format", default="text",
+                      choices=("text", "json"), dest="scan_format",
+                      help="report format (json is the versioned "
+                           "document repro.scan.report validates)")
+    scan.add_argument("--out", type=Path, default=None,
+                      metavar="REPORT",
+                      help="also write the rendered report to a file")
+    scan.add_argument("--baseline", type=Path, default=None,
+                      help="suppression baseline (default: "
+                           "scan-baseline.json when it exists)")
+    scan.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline with the current "
+                           "findings and exit 0")
+    scan.add_argument("--fail-on", default="high", dest="fail_on",
+                      choices=("never",) + tuple(
+                          s for s in ("low", "medium", "high",
+                                      "critical")),
+                      help="exit 1 when an unsuppressed finding reaches "
+                           "this severity (default: high)")
+    scan.add_argument("--faults", type=Path, default=None,
+                      metavar="PLAN.json",
+                      help="fault-injection plan applied to every "
+                           "capture (see EXPERIMENTS.md)")
+    _add_runtime_args(scan)
 
     cache = sub.add_parser("cache", help="inspect / clear the trace cache")
     cache.add_argument("--clear", action="store_true",
@@ -567,6 +611,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return int(pytest.main(pytest_args))
 
 
+#: Default scan suppression baseline (repo root, used when present).
+_DEFAULT_SCAN_BASELINE = Path("scan-baseline.json")
+
+
+def _cmd_scan(args: argparse.Namespace, manifest=None) -> int:
+    """Run the attack scanner; exit 1 when the severity gate trips."""
+    from .scan import ScanConfig, all_detectors, run_scan, severity_rank
+    from .scan import baseline as baseline_mod
+    from .scan import engine as engine_mod
+    from .scan import report as report_mod
+
+    if args.list_detectors:
+        from .scan import DETECTOR_ORDER
+
+        registry = all_detectors()
+        for detector_id in DETECTOR_ORDER:
+            cls = registry[detector_id]
+            requires = (f" (requires {', '.join(cls.requires)})"
+                        if cls.requires else "")
+            print(f"{detector_id:22s} {cls.title}{requires}")
+        return 0
+    detectors = None
+    if args.detectors:
+        detectors = [part.strip() for part in args.detectors.split(",")
+                     if part.strip()]
+    environments = None
+    if args.environments:
+        try:
+            environments = tuple(
+                get_profile(part.strip())
+                for part in args.environments.split(",") if part.strip())
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    config = ScanConfig(scale=args.scale, seed=args.seed,
+                        environments=environments)
+    try:
+        result = run_scan(detectors, config)
+    except ValueError as exc:
+        # Bad selection (unknown detector id) is bad input, not a
+        # runtime failure: the --faults exit-code convention.
+        print(str(exc), file=sys.stderr)
+        return 2
+    baseline_path = args.baseline
+    if baseline_path is None and _DEFAULT_SCAN_BASELINE.exists():
+        baseline_path = _DEFAULT_SCAN_BASELINE
+    if args.update_baseline:
+        target = baseline_path if baseline_path is not None \
+            else _DEFAULT_SCAN_BASELINE
+        document = baseline_mod.write_baseline(target, result.findings)
+        print(f"wrote {len(document['entries'])} entries to {target}")
+        return 0
+    if baseline_path is not None:
+        try:
+            suppressed = baseline_mod.load_baseline(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        new, old = baseline_mod.apply_baseline(result.findings,
+                                               suppressed)
+        result = engine_mod.ScanResult(
+            findings=tuple(new), detectors=result.detectors,
+            baselined=len(old), baselined_findings=tuple(old),
+            artifacts=result.artifacts)
+    rendered = (report_mod.render_json(result)
+                if args.scan_format == "json"
+                else report_mod.render_text(result))
+    print(rendered)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+    if manifest is not None:
+        from .scan import max_severity
+
+        manifest.set_result({
+            "detectors": len(result.detectors),
+            "findings": len(result.findings),
+            "baselined": result.baselined,
+            "max_severity": max_severity(result.findings) or "none"})
+    if args.fail_on != "never":
+        gate = severity_rank(args.fail_on)
+        if any(severity_rank(f.severity) >= gate
+               for f in result.findings):
+            return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Report (or clear) the on-disk trace cache."""
     if args.cache_dir is not None:
@@ -709,7 +840,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = _build_parser().parse_args(argv)
     if args.command in ("collect", "train", "experiment", "bench",
-                        "serve"):
+                        "serve", "scan"):
         try:
             fault_plan = _load_fault_plan(args)
         except ValueError as exc:
@@ -726,6 +857,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _cmd_experiment(args, manifest)
             if args.command == "serve":
                 return _cmd_serve(args, manifest)
+            if args.command == "scan":
+                return _cmd_scan(args, manifest)
             return _cmd_bench(args)
     if args.command == "classify":
         return _cmd_classify(args)

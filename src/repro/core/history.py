@@ -111,6 +111,12 @@ class HistoryAttack:
         self.operator = operator
         self.use_imsi_catcher = use_imsi_catcher
         self.episode_gap_s = episode_gap_s
+        # Campaign state retained by run() so identity-layer consumers
+        # (the tmsi-exposure / paging-linkability scan detectors) can
+        # read the per-zone mappers without re-running the simulation.
+        self.sniffers: Dict[str, CellSniffer] = {}
+        self.victim_tmsi: Optional[int] = None
+        self.horizon_s: float = 0.0
 
     def run(self, visits: Sequence[ZoneVisit], seed: int = 0,
             day: int = 0) -> List[HistoryFinding]:
@@ -133,6 +139,9 @@ class HistoryAttack:
         self._schedule(network, victim, visits, seed, day)
         horizon = max(visit.end_s for visit in visits) + 5.0
         network.run_for(horizon)
+        self.sniffers = sniffers
+        self.victim_tmsi = victim.tmsi
+        self.horizon_s = horizon
         return self._findings(sniffers, victim.tmsi)
 
     # -- internals -----------------------------------------------------------------

@@ -2,8 +2,11 @@
 
 Every experiment module exposes ``run(scale=...) -> <Result>`` plus a
 ``main()`` CLI hook, and renders its result as the same rows the paper
-prints.  Two scale presets exist:
+prints.  Three scale presets exist:
 
+* ``"smoke"`` — seconds-long CI sizing: exercises every stage end to
+  end (the scan byte-identity job runs at this scale) but makes no
+  claim about result quality.
 * ``"fast"`` — small capture campaigns sized so the whole benchmark
   suite finishes in minutes; the *shape* of every result (who wins, by
   roughly what factor) is preserved.
@@ -36,6 +39,13 @@ class Scale:
             raise ValueError("trace_duration_s must be positive")
 
 
+#: CI-sized preset: every pipeline stage runs end to end in seconds —
+#: used by the scan byte-identity job and quick local smoke runs, not
+#: for result quality.
+SMOKE = Scale(name="smoke", traces_per_app=2, trace_duration_s=10.0,
+              n_trees=8, pairs_per_app=2, history_visit_s=12.0,
+              drift_test_days=2)
+
 FAST = Scale(name="fast", traces_per_app=4, trace_duration_s=40.0,
              n_trees=24, pairs_per_app=5, history_visit_s=45.0,
              drift_test_days=10)
@@ -44,7 +54,7 @@ FULL = Scale(name="full", traces_per_app=8, trace_duration_s=120.0,
              n_trees=60, pairs_per_app=10, history_visit_s=300.0,
              drift_test_days=20)
 
-SCALES: Dict[str, Scale] = {"fast": FAST, "full": FULL}
+SCALES: Dict[str, Scale] = {"smoke": SMOKE, "fast": FAST, "full": FULL}
 
 
 def get_scale(scale) -> Scale:

@@ -80,15 +80,26 @@ def _pairs_for(app: str, kind: str, environment: OperatorProfile,
 
 @obs.timed("experiment.table7")
 def run(scale="fast", seed: int = 53,
-        workers: Optional[int] = None) -> CorrelationResult:
-    """Reproduce Table VII across environments and apps."""
+        workers: Optional[int] = None,
+        environments: Optional[Tuple[OperatorProfile, ...]] = None
+        ) -> CorrelationResult:
+    """Reproduce Table VII across environments and apps.
+
+    ``environments`` restricts the sweep (default: the paper's full
+    set).  Each environment's per-cell seeds depend only on its index
+    *within the sweep*, so a restricted run matches the corresponding
+    prefix of the full table — the scan differential harness relies on
+    that to compare against the scanner at an affordable scale.
+    """
     resolved = get_scale(scale)
+    if environments is None:
+        environments = ENVIRONMENTS
     apps = [name for name, _ in conversational_apps()]
     scores: Dict[str, Dict[str, Tuple[float, float]]] = {}
     n_train = max(3, resolved.pairs_per_app)
     n_test = max(2, resolved.pairs_per_app // 2 + 1)
     with runtime.overrides(workers=workers):
-        for env_index, environment in enumerate(ENVIRONMENTS):
+        for env_index, environment in enumerate(environments):
             per_app: Dict[str, Tuple[float, float]] = {}
             for app_index, (app, kind) in enumerate(conversational_apps()):
                 base = seed + 3001 * env_index + 331 * app_index

@@ -1,0 +1,82 @@
+"""Batch/stream adapters: route fused verdicts into the finding schema.
+
+``repro.stream``'s :class:`~repro.stream.fusion.VerdictFusion` output
+and the scanner's batch classification of recorded traces both become
+``victim-profile`` findings here, so the streaming service and a batch
+scan over identical input emit byte-identical finding fingerprints —
+the parity the integration suite asserts over a ``--sim city`` feed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.features import extract_features
+from ..core.fingerprint import HierarchicalFingerprinter
+from ..sniffer.trace import Trace
+from ..stream.fusion import FusedVerdict, VerdictFusion
+from .findings import (EvidenceWindow, Finding, clip01, make_finding,
+                       severity_from_confidence)
+
+#: Detector id stamped on fused-verdict findings from either path.
+FUSED_DETECTOR_ID = "victim-profile"
+
+
+def finding_from_fused(fused: FusedVerdict,
+                       spans: Optional[Dict[str, Tuple[float, float]]]
+                       = None) -> Finding:
+    """One fused multi-cell verdict as a schema finding.
+
+    ``spans`` maps contributing cell names to their observed
+    ``(start_s, end_s)`` capture intervals; cells without a known span
+    contribute no evidence window (the verdict metrics still count
+    them).
+    """
+    confidence = clip01(fused.confidence)
+    evidence: List[EvidenceWindow] = []
+    for cell in fused.cells:
+        span = (spans or {}).get(cell)
+        if span is None:
+            continue
+        evidence.append(EvidenceWindow(
+            cell=cell, start_s=float(span[0]), end_s=float(span[1]),
+            kind="fused", detail=f"windows fused from {cell}"))
+    return make_finding(
+        detector=FUSED_DETECTOR_ID, victim=fused.victim,
+        summary=(f"fused verdict: {fused.app} [{fused.category}] "
+                 f"across {len(fused.cells)} cell(s)"),
+        severity=severity_from_confidence(confidence),
+        confidence=confidence, evidence=evidence,
+        metrics={"windows": float(fused.window_count),
+                 "cells": float(len(fused.cells))})
+
+
+def source_spans(sources: Sequence[Tuple[str, Trace]]
+                 ) -> Dict[str, Tuple[float, float]]:
+    """Observed capture interval per source cell (empty feeds skipped)."""
+    spans: Dict[str, Tuple[float, float]] = {}
+    for name, trace in sources:
+        if len(trace):
+            spans[name] = (float(trace.start_s), float(trace.end_s))
+    return spans
+
+
+def profile_findings(model: HierarchicalFingerprinter,
+                     sources: Sequence[Tuple[str, Trace]]
+                     ) -> List[Finding]:
+    """Batch path: classify whole recorded feeds, fuse, emit findings.
+
+    Window predictions are row-independent and the streaming windowizer
+    is bit-identical to :func:`~repro.core.features.extract_features`,
+    so this produces exactly the finding fingerprints the streaming
+    service emits for the same ``(cell, trace)`` sources.
+    """
+    fusion = VerdictFusion(model)
+    for name, trace in sources:
+        X = extract_features(trace, model.window_config)
+        victim = trace.user or name
+        app_ids = model.predict_apps(X) if len(X) else []
+        fusion.add_votes(victim, name, app_ids)
+    spans = source_spans(sources)
+    return [finding_from_fused(fused, spans=spans)
+            for fused in fusion.all_fused()]

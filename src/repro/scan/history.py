@@ -1,0 +1,127 @@
+"""``app-history``: attack II (table V) as a scanner detector.
+
+Replicates ``table5_history.run`` exactly — same training campaign
+(``seed``), model seed (``seed + 1``), attack seed (``seed + 2``),
+episode gap (30 s) and visit script — then emits one finding per
+reconstructed timeline row.  The victim handle is the attacker-side
+identity (the TMSI learned by the zone sniffers), not the simulator's
+ground-truth UE name: findings describe what the attacker can actually
+claim.
+
+The campaign artifact (attack object, per-zone sniffers, victim TMSI)
+is shared through :meth:`ScanContext.artifact` so the identity-layer
+detectors (``tmsi-exposure``, ``paging-linkability``) read the same
+mappers instead of re-simulating the scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..apps import app_names
+from ..core.dataset import collect_traces, windows_from_traces
+from ..core.fingerprint import HierarchicalFingerprinter
+from ..core.history import (HistoryAttack, HistoryFinding, ZoneVisit,
+                            evaluate_findings)
+from ..experiments.table5_history import build_visits
+from .base import Detector, ScanContext, register
+from .findings import (EvidenceWindow, Finding, clip01, make_finding,
+                       severity_from_confidence)
+
+
+@dataclass
+class HistoryArtifact:
+    """The table V campaign plus its attacker-side identity state."""
+
+    seed: int
+    operator: str
+    attack: HistoryAttack
+    findings: List[HistoryFinding]
+    visits: List[ZoneVisit]
+    summary: dict
+
+    @property
+    def victim_tmsi(self) -> int:
+        return self.attack.victim_tmsi
+
+    @property
+    def sniffers(self):
+        return self.attack.sniffers
+
+    @property
+    def horizon_s(self) -> float:
+        return self.attack.horizon_s
+
+
+def build_history_artifact(ctx: ScanContext) -> HistoryArtifact:
+    """Run the table V campaign, keeping the attack's identity state."""
+    config = ctx.config
+    scale = ctx.scale
+    operator = config.history_operator
+    seed = ctx.seed(31)
+    train = collect_traces(list(app_names()), operator=operator,
+                           traces_per_app=scale.traces_per_app,
+                           duration_s=scale.trace_duration_s,
+                           seed=seed)
+    windows = windows_from_traces(train)
+    fingerprinter = HierarchicalFingerprinter(n_trees=scale.n_trees,
+                                              seed=seed + 1)
+    fingerprinter.fit(windows)
+    attack = HistoryAttack(fingerprinter, operator=operator,
+                           use_imsi_catcher=config.use_imsi_catcher,
+                           episode_gap_s=30.0)
+    visits = build_visits(scale)
+    findings = attack.run(visits, seed=seed + 2)
+    summary = evaluate_findings(findings, visits)
+    return HistoryArtifact(seed=seed, operator=operator.name,
+                           attack=attack, findings=findings,
+                           visits=visits, summary=summary)
+
+
+def victim_handle(tmsi: int) -> str:
+    """The attacker-side victim handle used by the identity detectors."""
+    return f"tmsi:{tmsi:08x}"
+
+
+@register
+class AppHistoryDetector(Detector):
+    """Reconstruct the victim's zone/app timeline from sniffer captures."""
+
+    detector_id = "app-history"
+    title = "history-of-applications timeline reconstruction (table V)"
+
+    def run(self, ctx: ScanContext) -> List[Finding]:
+        artifact = ctx.artifact("history",
+                                lambda: build_history_artifact(ctx))
+        victim = victim_handle(artifact.victim_tmsi)
+        findings: List[Finding] = []
+        for row in artifact.findings:
+            confidence = clip01(row.confidence)
+            findings.append(make_finding(
+                detector=self.detector_id, victim=victim,
+                summary=(f"history: {row.predicted_app} "
+                         f"[{row.predicted_category}] in {row.zone}"),
+                severity=severity_from_confidence(confidence),
+                confidence=confidence,
+                evidence=[EvidenceWindow(
+                    cell=row.zone, start_s=row.start_s, end_s=row.end_s,
+                    kind="episode",
+                    detail=f"{row.duration_s:.1f}s activity episode")],
+                metrics={"duration_s": float(row.duration_s)}))
+        findings.append(make_finding(
+            detector=self.detector_id, victim="campaign",
+            summary=(f"history campaign: {len(artifact.findings)} "
+                     f"episode(s) across "
+                     f"{len(artifact.sniffers)} zones "
+                     f"({artifact.operator})"),
+            severity="info",
+            confidence=clip01(artifact.summary["success_rate"]),
+            metrics={"visits": float(artifact.summary["visits"]),
+                     "detected": float(artifact.summary["detected"]),
+                     "correct": float(artifact.summary["correct"]),
+                     "success_rate": float(
+                         artifact.summary["success_rate"]),
+                     "category_accuracy": float(
+                         artifact.summary["category_accuracy"])}))
+        return findings

@@ -1,0 +1,76 @@
+"""``victim-profile``: the composed scan over shared attack state.
+
+Chains fingerprint → history → correlation (its declared ``requires``
+pulls those detectors into any scan that selects it) and aggregates
+their per-victim findings into one profile finding per victim: a
+noisy-OR risk score over the contributing confidences, the maximum
+contributing severity, and per-detector finding counts.  Campaign-level
+``info`` findings are bookkeeping, not victim evidence, so they are
+excluded from profiles.
+
+The same detector id also stamps the fused-verdict findings produced
+by :mod:`repro.scan.adapters` — the batch and streaming data planes
+feed this one schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Detector, ScanContext, register
+from .findings import (Finding, clip01, make_finding, max_severity,
+                       severity_rank)
+
+
+@register
+class VictimProfileDetector(Detector):
+    """Aggregate every detector's findings into per-victim risk."""
+
+    detector_id = "victim-profile"
+    title = "composed per-victim risk profile over all attack stages"
+    requires = ("app-fingerprint", "app-history", "identity-correlation")
+
+    def run(self, ctx: ScanContext) -> List[Finding]:
+        grouped: Dict[str, List[Finding]] = {}
+        order: List[str] = []
+        for finding in ctx.findings:
+            if finding.victim == "campaign":
+                continue
+            if finding.victim not in grouped:
+                grouped[finding.victim] = []
+                order.append(finding.victim)
+            grouped[finding.victim].append(finding)
+        profiles: List[Finding] = []
+        for victim in sorted(order):
+            contributing = [f for f in grouped[victim]
+                            if severity_rank(f.severity)
+                            > severity_rank("info")]
+            if not contributing:
+                continue
+            survival = 1.0
+            for finding in contributing:
+                survival *= 1.0 - clip01(finding.confidence)
+            risk = clip01(1.0 - survival)
+            detectors = []
+            for finding in contributing:
+                if finding.detector not in detectors:
+                    detectors.append(finding.detector)
+            metrics = {"risk": risk,
+                       "findings": float(len(contributing)),
+                       "detectors": float(len(detectors))}
+            for detector_id in detectors:
+                metrics[f"findings.{detector_id}"] = float(
+                    sum(1 for f in contributing
+                        if f.detector == detector_id))
+            # The first evidence window of each contributing finding is
+            # enough to anchor the profile without duplicating every
+            # episode; windows keep contribution order.
+            evidence = [f.evidence[0] for f in contributing if f.evidence]
+            profiles.append(make_finding(
+                detector=self.detector_id, victim=victim,
+                summary=(f"victim profile: {len(contributing)} "
+                         f"finding(s) from {len(detectors)} "
+                         f"detector(s)"),
+                severity=max_severity(contributing),
+                confidence=risk, evidence=evidence, metrics=metrics))
+        return profiles

@@ -12,7 +12,7 @@ the per-trace verdict uses, applied to the union of windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,14 +58,26 @@ class VerdictFusion:
     def add(self, victim: str, cell: str,
             verdicts: Iterable[WindowVerdict]) -> None:
         """Fold one cell's window verdicts into a victim's tally."""
+        self.add_votes(victim, cell,
+                       [verdict.app_id for verdict in verdicts])
+
+    def add_votes(self, victim: str, cell: str,
+                  app_ids: Sequence[int]) -> None:
+        """Fold raw per-window app ids into a victim's tally.
+
+        The batch path (classifying a whole captured trace at once)
+        and the streaming path (per-chunk :class:`WindowVerdict`
+        batches) both land here, so fused verdicts — and the scan
+        findings derived from them — are one code path regardless of
+        how the windows arrived.
+        """
         votes = self._votes.get(victim)
         if votes is None:
             votes = np.zeros(self._n_apps, dtype=np.int64)
             self._votes[victim] = votes
             self._cells[victim] = []
             self._victim_order.append(victim)
-        app_ids = [verdict.app_id for verdict in verdicts]
-        if app_ids:
+        if len(app_ids):
             votes += np.bincount(np.asarray(app_ids, dtype=np.int64),
                                  minlength=self._n_apps)
             if cell not in self._cells[victim]:

@@ -91,6 +91,10 @@ class ServiceReport:
         default_factory=dict)
     fused: List[FusedVerdict] = field(default_factory=list)
     tracked_rntis: Dict[str, int] = field(default_factory=dict)
+    #: Fused verdicts re-expressed in the scanner's finding schema
+    #: (:mod:`repro.scan.adapters`) — the same format a batch scan of
+    #: the identical sources produces.
+    findings: list = field(default_factory=list)
 
 
 class StreamService:
@@ -242,6 +246,13 @@ class StreamService:
             report.tracked_rntis[name] = \
                 len(self._trackers[name].history())
         report.fused = self._fusion.all_fused()
+        # Imported lazily: repro.scan imports repro.stream's fusion
+        # stage, so a module-level import here would be circular.
+        from ..scan.adapters import finding_from_fused, source_spans
+
+        spans = source_spans(self._sources)
+        report.findings = [finding_from_fused(fused, spans=spans)
+                           for fused in report.fused]
         if self._lag_values:
             ranked = np.sort(np.asarray(self._lag_values))
             position = max(0, int(np.ceil(0.99 * len(ranked))) - 1)
@@ -264,3 +275,7 @@ class StreamService:
                 "confidence": fused.confidence,
                 "window_count": fused.window_count,
                 "cells": list(fused.cells)}) + "\n")
+        for finding in report.findings:
+            handle.write(json.dumps({"type": "finding",
+                                     **finding.as_dict()},
+                         sort_keys=True) + "\n")

@@ -19,6 +19,7 @@ MICRO = Scale(name="micro", traces_per_app=2, trace_duration_s=12.0,
 
 class TestCommon:
     def test_get_scale_by_name(self):
+        assert get_scale("smoke").name == "smoke"
         assert get_scale("fast").name == "fast"
         assert get_scale("full").name == "full"
 
@@ -30,7 +31,7 @@ class TestCommon:
             get_scale("enormous")
 
     def test_scales_registry(self):
-        assert set(SCALES) == {"fast", "full"}
+        assert set(SCALES) == {"smoke", "fast", "full"}
 
     def test_scale_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,164 @@
+"""Property-based invariants of the scan framework.
+
+* every constructible finding round-trips byte-exactly through the
+  JSON schema validator (content fingerprint included);
+* confidences are always in [0, 1], and evidence-count calibration is
+  monotone — so capture-loss fault plans, whose kept-record sets are
+  nested across rates, can only lower a detector's confidence;
+* scan report documents round-trip through ``validate_document``;
+* the report pipeline is deterministic: finding order never depends on
+  emission order, and the scan JSON is byte-identical across worker
+  counts (serial vs process ParallelMap backends).
+
+``derandomize=True`` pins Hypothesis's example stream to the test id,
+so CI failures replay locally without sharing a database.
+"""
+
+import json
+
+from hypothesis import given, strategies as st
+
+from repro import runtime
+from repro.experiments import Scale
+from repro.faults import FaultPlan, FaultSpec, apply_plan
+from repro.faults.generators import synthetic_trace
+from repro.operators import LAB
+from repro.scan import ScanConfig, run_scan
+from repro.scan.engine import ScanResult, _finding_sort_key
+from repro.scan.findings import (SEVERITIES, EvidenceWindow,
+                                 evidence_confidence, make_finding,
+                                 validate_finding, vote_confidence)
+from repro.scan.report import as_document, render_json, validate_document
+
+from tests.properties.strategies import (ITEM_SEEDS, SETTINGS,
+                                         TRACE_SEEDS)
+
+# -- strategies ----------------------------------------------------------------------
+
+_NAMES = st.text(min_size=1, max_size=20)
+_TIMES = st.floats(0.0, 1e6)
+
+_WINDOWS = st.builds(
+    lambda cell, start, length, kind: EvidenceWindow(
+        cell=cell, start_s=start, end_s=start + length, kind=kind),
+    st.sampled_from(["Zone A'", "Zone B'", "city-000"]),
+    _TIMES, st.floats(0.0, 1e4),
+    st.sampled_from(["capture", "episode", "binding", "linkage"]))
+
+_FINDINGS = st.builds(
+    lambda detector, victim, summary, severity, confidence, evidence,
+    metrics: make_finding(detector=detector, victim=victim,
+                          summary=summary, severity=severity,
+                          confidence=confidence, evidence=evidence,
+                          metrics=metrics),
+    st.sampled_from(["app-fingerprint", "tmsi-exposure",
+                     "victim-profile"]),
+    _NAMES, st.text(max_size=40), st.sampled_from(SEVERITIES),
+    st.floats(0.0, 1.0), st.lists(_WINDOWS, max_size=3),
+    st.dictionaries(_NAMES, st.floats(-1e9, 1e9), max_size=4))
+
+
+# -- schema round-trip ---------------------------------------------------------------
+
+@SETTINGS
+@given(finding=_FINDINGS)
+def test_finding_round_trips_through_validator(finding):
+    payload = json.loads(json.dumps(finding.as_dict()))
+    rebuilt = validate_finding(payload)
+    assert rebuilt == finding
+    assert rebuilt.fingerprint() == finding.fingerprint()
+
+
+@SETTINGS
+@given(finding=_FINDINGS)
+def test_confidence_always_in_unit_interval(finding):
+    assert 0.0 <= finding.confidence <= 1.0
+
+
+@SETTINGS
+@given(findings=st.lists(_FINDINGS, max_size=6))
+def test_report_document_round_trips(findings):
+    ordered = sorted(findings, key=_finding_sort_key)
+    result = ScanResult(findings=tuple(ordered),
+                        detectors=("app-fingerprint", "tmsi-exposure",
+                                   "victim-profile"))
+    document = as_document(result)
+    parsed = json.loads(json.dumps(document))
+    assert validate_document(parsed) is parsed
+    assert parsed == document
+
+
+@SETTINGS
+@given(findings=st.lists(_FINDINGS, max_size=6),
+       seed=st.randoms(use_true_random=False))
+def test_finding_order_independent_of_emission_order(findings, seed):
+    shuffled = list(findings)
+    seed.shuffle(shuffled)
+    assert (sorted(shuffled, key=_finding_sort_key)
+            == sorted(findings, key=_finding_sort_key))
+
+
+# -- calibration monotonicity --------------------------------------------------------
+
+@SETTINGS
+@given(counts=st.tuples(st.integers(0, 100_000),
+                        st.integers(0, 100_000)),
+       half_life=st.floats(0.5, 100.0))
+def test_evidence_confidence_monotone(counts, half_life):
+    low, high = sorted(counts)
+    assert (evidence_confidence(low, half_life)
+            <= evidence_confidence(high, half_life))
+    assert 0.0 <= evidence_confidence(high, half_life) <= 1.0
+
+
+@SETTINGS
+@given(top=st.integers(0, 1000), extra=st.integers(0, 1000))
+def test_vote_confidence_in_unit_interval(top, extra):
+    assert 0.0 <= vote_confidence(top, top + extra) <= 1.0
+
+
+@SETTINGS
+@given(trace_seed=TRACE_SEEDS,
+       rates=st.tuples(st.floats(0.0, 0.9), st.floats(0.0, 0.9)),
+       plan_seed=st.integers(0, 2**31 - 1), item_seed=ITEM_SEEDS,
+       half_life=st.floats(0.5, 100.0))
+def test_capture_loss_never_raises_confidence(trace_seed, rates,
+                                              plan_seed, item_seed,
+                                              half_life):
+    # capture_loss draws one uniform per record *before* thresholding
+    # on the rate, so for a fixed plan seed the kept sets are nested:
+    # a higher rate keeps a subset.  Evidence-count calibration is
+    # monotone, hence detector confidence is monotone non-increasing
+    # in the loss rate.
+    low, high = sorted(rates)
+    trace = synthetic_trace(trace_seed)
+
+    def surviving(rate):
+        plan = FaultPlan(
+            faults=(FaultSpec.make("capture_loss", rate=rate),),
+            seed=plan_seed)
+        return len(apply_plan(trace, plan, item_seed=item_seed))
+
+    kept_low, kept_high = surviving(low), surviving(high)
+    assert kept_high <= kept_low
+    assert (evidence_confidence(kept_high, half_life)
+            <= evidence_confidence(kept_low, half_life))
+
+
+# -- backend determinism -------------------------------------------------------------
+
+#: Smoke sizing for the worker-count determinism check (one detector,
+#: lab environment: the cheapest real campaign).
+_SMOKE = Scale(name="smoke", traces_per_app=2, trace_duration_s=10.0,
+               n_trees=8, pairs_per_app=2, history_visit_s=12.0,
+               drift_test_days=2)
+
+
+def test_scan_json_byte_identical_across_workers():
+    config = ScanConfig(scale=_SMOKE, environments=(LAB,))
+    reports = []
+    for workers in (1, 2, 1):
+        with runtime.overrides(workers=workers):
+            result = run_scan(["identity-correlation"], config)
+        reports.append(render_json(result))
+    assert reports[0] == reports[1] == reports[2]

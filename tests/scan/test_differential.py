@@ -1,0 +1,248 @@
+"""The equivalence proof: every detector vs its legacy driver.
+
+Each attack detector replicates its experiment driver's arithmetic
+(same campaign seeds, same model seeds, same splits); this harness runs
+both sides at micro scale and asserts *bit* equality — float-exact
+scores, ``np.array_equal`` predictions and confusion matrices, and
+per-victim verdicts matching the legacy ``classify_trace`` API — then
+repeats the whole scan on the process backend and asserts the rendered
+JSON report is byte-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.core.correlation import precision_recall
+from repro.core.dataset import collect_traces, windows_from_traces
+from repro.core.fingerprint import HierarchicalFingerprinter
+from repro.experiments import table5_history, table7_correlation
+from repro.experiments.table3_lab import run_fingerprinting
+from repro.ml.metrics import confusion_matrix
+from repro.operators import LAB
+from repro.scan import run_scan
+from repro.scan.findings import evidence_confidence
+from repro.scan.identity import EXPOSURE_HALF_LIFE, LINKABILITY_HALF_LIFE
+from repro.scan.report import render_json
+
+from tests.scan.conftest import MICRO, MICRO_CONFIG
+
+pytestmark = pytest.mark.tier1
+
+
+class TestFingerprintDifferential:
+    """``app-fingerprint`` vs ``table3_lab.run_fingerprinting``."""
+
+    def test_scores_bit_identical(self, micro_scan):
+        legacy = run_fingerprinting(LAB, MICRO, seed=11)
+        artifact = micro_scan.artifacts["fingerprint"]
+        assert artifact.operator == legacy.operator
+        assert artifact.apps == legacy.apps
+        # Dict equality on float tuples is exact equality — no
+        # tolerance anywhere in this harness.
+        assert artifact.scores == legacy.scores
+
+    def test_window_predictions_and_confusions(self, micro_scan):
+        # Re-run the legacy pipeline independently for the primary view
+        # and demand array-exact agreement with the scanner's stored
+        # intermediates.
+        artifact = micro_scan.artifacts["fingerprint"]
+        train = collect_traces(artifact.apps, operator=LAB,
+                               traces_per_app=MICRO.traces_per_app,
+                               duration_s=MICRO.trace_duration_s,
+                               seed=11, day=0)
+        test = collect_traces(artifact.apps, operator=LAB,
+                              traces_per_app=max(
+                                  1, MICRO.traces_per_app // 2),
+                              duration_s=MICRO.trace_duration_s,
+                              seed=11 + 5000, day=0)
+        w_train = windows_from_traces(train)
+        w_test = windows_from_traces(
+            test, app_encoder=w_train.app_encoder,
+            category_encoder=w_train.category_encoder)
+        model = HierarchicalFingerprinter(n_trees=MICRO.n_trees,
+                                          seed=12)
+        model.fit(w_train)
+        predictions = model.predict_apps(w_test.X)
+        assert np.array_equal(predictions, artifact.primary_predictions)
+        assert np.array_equal(w_test.trace_ids,
+                              artifact.primary_trace_ids)
+        expected_confusion = confusion_matrix(
+            w_test.app_labels, predictions,
+            n_classes=w_train.app_encoder.n_classes)
+        assert np.array_equal(expected_confusion,
+                              artifact.confusions["Down+UP"])
+
+    def test_per_victim_verdicts_match_classify_trace(self, micro_scan):
+        # The scanner's bincount/argmax per-trace grouping must agree
+        # with the legacy per-trace verdict API on every held-out
+        # capture.
+        artifact = micro_scan.artifacts["fingerprint"]
+        test = collect_traces(artifact.apps, operator=LAB,
+                              traces_per_app=max(
+                                  1, MICRO.traces_per_app // 2),
+                              duration_s=MICRO.trace_duration_s,
+                              seed=11 + 5000, day=0)
+        predicted = artifact.trace_predictions["Down+UP"]
+        assert len(predicted) == len(test)
+        for index, trace in enumerate(test):
+            verdict = artifact.model.classify_trace(trace)
+            if verdict is None:
+                assert predicted[index] == -1
+                continue
+            assert artifact.app_classes[predicted[index]] == verdict.app
+
+    def test_findings_carry_verdict_confidences(self, micro_scan):
+        artifact = micro_scan.artifacts["fingerprint"]
+        test = collect_traces(artifact.apps, operator=LAB,
+                              traces_per_app=max(
+                                  1, MICRO.traces_per_app // 2),
+                              duration_s=MICRO.trace_duration_s,
+                              seed=11 + 5000, day=0)
+        findings = [f for f in micro_scan.findings
+                    if f.detector == "app-fingerprint"
+                    and f.victim != "campaign"]
+        by_index = {int(f.victim.rsplit("#", 1)[1]): f for f in findings}
+        for index, trace in enumerate(test):
+            verdict = artifact.model.classify_trace(trace)
+            if verdict is None:
+                assert index not in by_index
+                continue
+            finding = by_index[index]
+            assert finding.confidence == verdict.confidence
+            assert verdict.app in finding.summary
+
+
+class TestHistoryDifferential:
+    """``app-history`` vs ``table5_history.run``."""
+
+    @pytest.fixture(scope="class")
+    def legacy(self):
+        return table5_history.run(MICRO)
+
+    def test_timeline_rows_bit_identical(self, micro_scan, legacy):
+        artifact = micro_scan.artifacts["history"]
+        assert len(artifact.findings) == len(legacy.findings)
+        for ours, theirs in zip(artifact.findings, legacy.findings):
+            assert ours.zone == theirs.zone
+            assert ours.start_s == theirs.start_s
+            assert ours.end_s == theirs.end_s
+            assert ours.predicted_app == theirs.predicted_app
+            assert ours.predicted_category == theirs.predicted_category
+            assert ours.confidence == theirs.confidence
+            assert ours.correct == theirs.correct
+
+    def test_summary_bit_identical(self, micro_scan, legacy):
+        assert micro_scan.artifacts["history"].summary == legacy.summary
+
+    def test_findings_mirror_timeline(self, micro_scan):
+        artifact = micro_scan.artifacts["history"]
+        findings = [f for f in micro_scan.findings
+                    if f.detector == "app-history"
+                    and f.victim != "campaign"]
+        assert len(findings) == len(artifact.findings)
+        expected = sorted(
+            (row.start_s, row.end_s, row.zone, float(row.confidence))
+            for row in artifact.findings)
+        actual = sorted(
+            (f.evidence[0].start_s, f.evidence[0].end_s,
+             f.evidence[0].cell, f.confidence) for f in findings)
+        for (start, end, zone, confidence), got in zip(expected, actual):
+            assert got == (start, end, zone, min(1.0, max(0.0,
+                                                          confidence)))
+
+
+class TestCorrelationDifferential:
+    """``identity-correlation`` vs ``table7_correlation.run``."""
+
+    def test_scores_bit_identical(self, micro_scan):
+        legacy = table7_correlation.run(MICRO, environments=(LAB,))
+        artifact = micro_scan.artifacts["correlation"]
+        assert artifact.environments == list(legacy.scores)
+        assert artifact.apps == legacy.apps
+        assert artifact.scores == legacy.scores
+
+    def test_predictions_reproduce_scores(self, micro_scan):
+        artifact = micro_scan.artifacts["correlation"]
+        for env in artifact.environments:
+            for app in artifact.apps:
+                key = (env, app)
+                assert artifact.scores[env][app] == precision_recall(
+                    artifact.y_true[key], artifact.y_pred[key])
+
+    def test_flagged_findings_match_predictions(self, micro_scan):
+        artifact = micro_scan.artifacts["correlation"]
+        flagged = sum(int(np.sum(artifact.y_pred[key]))
+                      for key in artifact.y_pred)
+        findings = [f for f in micro_scan.findings
+                    if f.detector == "identity-correlation"
+                    and f.victim != "campaign"]
+        assert len(findings) == flagged
+        for finding in findings:
+            metrics = dict(finding.metrics)
+            env, app, pair = finding.victim.split(":")
+            index = int(pair.replace("pair", ""))
+            assert artifact.y_pred[(env, app)][index] == 1
+            assert (metrics["decision_score"]
+                    == float(artifact.decision[(env, app)][index]))
+
+
+class TestIdentityDifferential:
+    """Identity-layer detectors vs the mappers they read."""
+
+    def test_tmsi_exposure_recomputation(self, micro_scan):
+        artifact = micro_scan.artifacts["history"]
+        tmsi = artifact.victim_tmsi
+        findings = {f.summary.split(":")[0].replace("TMSI exposed in ", "")
+                    : f for f in micro_scan.findings
+                    if f.detector == "tmsi-exposure"}
+        expected_zones = [zone for zone in sorted(artifact.sniffers)
+                          if artifact.sniffers[zone].mapper
+                          .bindings_for_tmsi(tmsi)]
+        assert sorted(findings) == expected_zones
+        for zone in expected_zones:
+            sniffer = artifact.sniffers[zone]
+            bindings = sniffer.mapper.bindings_for_tmsi(tmsi)
+            records = len(sniffer.trace_for_tmsi(tmsi))
+            finding = findings[zone]
+            metrics = dict(finding.metrics)
+            assert metrics["bindings"] == float(len(bindings))
+            assert metrics["records"] == float(records)
+            assert finding.confidence == evidence_confidence(
+                records, EXPOSURE_HALF_LIFE)
+            assert len(finding.evidence) == len(bindings)
+
+    def test_paging_linkability_recomputation(self, micro_scan):
+        artifact = micro_scan.artifacts["history"]
+        tmsi = artifact.victim_tmsi
+        bindings = []
+        zones = 0
+        for zone in sorted(artifact.sniffers):
+            zone_bindings = artifact.sniffers[zone].mapper \
+                .bindings_for_tmsi(tmsi)
+            if zone_bindings:
+                zones += 1
+                bindings.extend(zone_bindings)
+        findings = [f for f in micro_scan.findings
+                    if f.detector == "paging-linkability"]
+        if len(bindings) < 2:
+            assert findings == []
+            return
+        assert len(findings) == 1
+        metrics = dict(findings[0].metrics)
+        assert metrics["bindings"] == float(len(bindings))
+        assert metrics["links"] == float(len(bindings) - 1)
+        assert metrics["zones"] == float(zones)
+        assert findings[0].confidence == evidence_confidence(
+            len(bindings) - 1, LINKABILITY_HALF_LIFE)
+
+
+class TestBackendEquivalence:
+    """The whole scan, serial vs process backend, byte for byte."""
+
+    def test_process_backend_bit_identical(self, micro_scan):
+        with runtime.overrides(workers=2):
+            parallel = run_scan(config=MICRO_CONFIG)
+        assert ([f.as_dict() for f in parallel.findings]
+                == [f.as_dict() for f in micro_scan.findings])
+        assert render_json(parallel) == render_json(micro_scan)

@@ -1,0 +1,194 @@
+"""Unit tests for the finding schema, calibration, and validation."""
+
+import json
+import math
+
+import pytest
+
+from repro.scan.findings import (SCHEMA_VERSION, SEVERITIES, EvidenceWindow,
+                                 Finding, clip01, evidence_confidence,
+                                 make_finding, make_metrics, max_severity,
+                                 severity_from_confidence, severity_rank,
+                                 validate_finding, vote_confidence)
+
+
+def sample_finding(**overrides):
+    kwargs = dict(
+        detector="tmsi-exposure", victim="tmsi:0000beef",
+        summary="TMSI exposed in Zone A'", severity="high",
+        confidence=0.75,
+        evidence=[EvidenceWindow(cell="Zone A'", start_s=5.0, end_s=20.0,
+                                 kind="binding", detail="rnti=0x0061")],
+        metrics={"bindings": 2.0, "records": 150.0})
+    kwargs.update(overrides)
+    return make_finding(**kwargs)
+
+
+class TestSeverity:
+    def test_ladder_order(self):
+        ranks = [severity_rank(level) for level in SEVERITIES]
+        assert ranks == sorted(ranks)
+        assert severity_rank("info") < severity_rank("critical")
+
+    def test_unknown_severity(self):
+        with pytest.raises(ValueError):
+            severity_rank("catastrophic")
+
+    def test_max_severity(self):
+        findings = [sample_finding(severity="low"),
+                    sample_finding(severity="critical"),
+                    sample_finding(severity="medium")]
+        assert max_severity(findings) == "critical"
+        assert max_severity([]) is None
+
+    def test_from_confidence_bands(self):
+        assert severity_from_confidence(0.95) == "high"
+        assert severity_from_confidence(0.7) == "medium"
+        assert severity_from_confidence(0.1) == "low"
+
+    def test_from_confidence_floor(self):
+        assert severity_from_confidence(0.1, floor="medium") == "medium"
+        assert severity_from_confidence(0.95, floor="medium") == "high"
+
+
+class TestCalibration:
+    def test_clip01(self):
+        assert clip01(-0.5) == 0.0
+        assert clip01(1.5) == 1.0
+        assert clip01(0.25) == 0.25
+        assert clip01(float("nan")) == 0.0
+
+    def test_vote_confidence(self):
+        assert vote_confidence(3, 4) == 0.75
+        assert vote_confidence(0, 0) == 0.0
+        assert vote_confidence(9, 4) == 1.0      # clipped
+
+    def test_evidence_confidence(self):
+        assert evidence_confidence(0, 50.0) == 0.0
+        assert evidence_confidence(50, 50.0) == 0.5
+        assert evidence_confidence(1e9, 50.0) < 1.0
+        with pytest.raises(ValueError):
+            evidence_confidence(10, 0.0)
+
+    def test_evidence_confidence_monotone(self):
+        values = [evidence_confidence(count, 3.0) for count in range(30)]
+        assert values == sorted(values)
+
+
+class TestEvidenceWindow:
+    def test_requires_cell(self):
+        with pytest.raises(ValueError):
+            EvidenceWindow(cell="", start_s=0.0, end_s=1.0)
+
+    def test_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            EvidenceWindow(cell="c", start_s=2.0, end_s=1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            EvidenceWindow(cell="c", start_s=0.0, end_s=math.inf)
+
+    def test_as_dict(self):
+        window = EvidenceWindow(cell="c", start_s=0.0, end_s=1.0,
+                                kind="capture", detail="d")
+        assert window.as_dict() == {"cell": "c", "start_s": 0.0,
+                                    "end_s": 1.0, "kind": "capture",
+                                    "detail": "d"}
+
+
+class TestFinding:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            sample_finding(detector="")
+        with pytest.raises(ValueError):
+            sample_finding(victim="")
+        with pytest.raises(ValueError):
+            sample_finding(severity="urgent")
+        with pytest.raises(ValueError):
+            Finding(detector="d", victim="v", summary="s", severity="low",
+                    confidence=math.nan)
+        with pytest.raises(ValueError):
+            Finding(detector="d", victim="v", summary="s", severity="low",
+                    confidence=1.5)
+        with pytest.raises(ValueError):
+            sample_finding(metrics={"bad": math.inf})
+
+    def test_make_finding_clips_confidence(self):
+        assert sample_finding(confidence=7.0).confidence == 1.0
+        assert sample_finding(confidence=-1.0).confidence == 0.0
+
+    def test_make_metrics_sorted(self):
+        metrics = make_metrics({"z": 1, "a": 2.5})
+        assert metrics == (("a", 2.5), ("z", 1.0))
+
+    def test_fingerprint_is_content_addressed(self):
+        assert (sample_finding().fingerprint()
+                == sample_finding().fingerprint())
+        assert (sample_finding().fingerprint()
+                != sample_finding(confidence=0.5).fingerprint())
+        assert len(sample_finding().fingerprint()) == 16
+
+    def test_fingerprint_ignores_metric_order(self):
+        first = sample_finding(metrics={"a": 1.0, "b": 2.0})
+        second = sample_finding(metrics={"b": 2.0, "a": 1.0})
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_format_line(self):
+        line = sample_finding().format()
+        assert "HIGH" in line
+        assert "tmsi-exposure" in line
+        assert "0.75" in line
+
+
+class TestValidateFinding:
+    def test_round_trip(self):
+        finding = sample_finding()
+        payload = json.loads(json.dumps(finding.as_dict()))
+        rebuilt = validate_finding(payload)
+        assert rebuilt == finding
+        assert rebuilt.fingerprint() == finding.fingerprint()
+
+    def test_schema_version_is_one(self):
+        assert SCHEMA_VERSION == 1
+
+    def test_rejects_missing_key(self):
+        payload = sample_finding().as_dict()
+        del payload["victim"]
+        with pytest.raises(ValueError):
+            validate_finding(payload)
+
+    def test_rejects_extra_key(self):
+        payload = sample_finding().as_dict()
+        payload["extra"] = 1
+        with pytest.raises(ValueError):
+            validate_finding(payload)
+
+    def test_rejects_tampered_fingerprint(self):
+        payload = sample_finding().as_dict()
+        payload["fingerprint"] = "0" * 16
+        with pytest.raises(ValueError):
+            validate_finding(payload)
+
+    def test_rejects_tampered_content(self):
+        payload = sample_finding().as_dict()
+        payload["confidence"] = 0.5        # fingerprint now stale
+        with pytest.raises(ValueError):
+            validate_finding(payload)
+
+    def test_rejects_out_of_range_confidence(self):
+        payload = sample_finding().as_dict()
+        payload["confidence"] = 1.5
+        with pytest.raises(ValueError):
+            validate_finding(payload)
+
+    def test_rejects_bad_evidence(self):
+        payload = sample_finding().as_dict()
+        payload["evidence"][0]["end_s"] = -100.0
+        with pytest.raises(ValueError):
+            validate_finding(payload)
+
+    def test_rejects_boolean_confidence(self):
+        payload = sample_finding().as_dict()
+        payload["confidence"] = True
+        with pytest.raises(ValueError):
+            validate_finding(payload)

@@ -1,0 +1,117 @@
+"""Registry, selection, context, and engine-ordering tests."""
+
+import pytest
+
+from repro.scan import (DETECTOR_ORDER, Detector, ScanConfig, ScanContext,
+                        all_detectors, register, resolve_selection, run_scan)
+from repro.scan.engine import _finding_sort_key
+
+from tests.scan.conftest import MICRO
+
+
+class TestRegistry:
+    def test_all_detectors_match_order(self):
+        assert set(all_detectors()) == set(DETECTOR_ORDER)
+
+    def test_register_rejects_plain_class(self):
+        with pytest.raises(TypeError):
+            register(object)
+
+    def test_register_rejects_unknown_id(self):
+        class Rogue(Detector):
+            detector_id = "not-in-order"
+
+        with pytest.raises(ValueError):
+            register(Rogue)
+
+    def test_register_rejects_duplicate(self):
+        existing = all_detectors()["tmsi-exposure"]
+
+        class Copycat(Detector):
+            detector_id = existing.detector_id
+
+        with pytest.raises(ValueError):
+            register(Copycat)
+
+    def test_titles_present(self):
+        for cls in all_detectors().values():
+            assert cls.title
+
+
+class TestSelection:
+    def test_default_is_everything_in_order(self):
+        assert resolve_selection() == DETECTOR_ORDER
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError):
+            resolve_selection(["app-fingerprint", "bogus"])
+
+    def test_requires_expansion(self):
+        order = resolve_selection(["victim-profile"])
+        assert order == ("app-fingerprint", "app-history",
+                         "identity-correlation", "victim-profile")
+
+    def test_selection_order_does_not_matter(self):
+        forward = resolve_selection(["app-history", "tmsi-exposure"])
+        backward = resolve_selection(["tmsi-exposure", "app-history"])
+        assert forward == backward == ("app-history", "tmsi-exposure")
+
+
+class TestScanContext:
+    def test_seed_default_and_override(self):
+        assert ScanContext(ScanConfig(seed=None)).seed(31) == 31
+        assert ScanContext(ScanConfig(seed=7)).seed(31) == 7
+
+    def test_artifact_memoised(self):
+        ctx = ScanContext(ScanConfig(scale=MICRO))
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": 1}
+
+        first = ctx.artifact("thing", build)
+        second = ctx.artifact("thing", build)
+        assert first is second
+        assert calls == [1]
+        assert ctx.has_artifact("thing")
+        assert not ctx.has_artifact("other")
+
+    def test_scale_resolution(self):
+        assert ScanContext(ScanConfig(scale="fast")).scale.name == "fast"
+        assert ScanContext(ScanConfig(scale=MICRO)).scale is MICRO
+        with pytest.raises(ValueError):
+            ScanContext(ScanConfig(scale="galactic"))
+
+
+class TestEngine:
+    def test_unknown_detector_raises(self):
+        with pytest.raises(ValueError):
+            run_scan(["nonsense"], ScanConfig(scale=MICRO))
+
+    def test_detectors_recorded_in_order(self, micro_scan):
+        assert micro_scan.detectors == DETECTOR_ORDER
+
+    def test_findings_sorted_within_detector(self, micro_scan):
+        for detector_id in micro_scan.detectors:
+            block = [f for f in micro_scan.findings
+                     if f.detector == detector_id]
+            assert block == sorted(block, key=_finding_sort_key)
+
+    def test_detector_blocks_follow_composition_order(self, micro_scan):
+        positions = {detector_id: index for index, detector_id
+                     in enumerate(micro_scan.detectors)}
+        ranks = [positions[f.detector] for f in micro_scan.findings]
+        assert ranks == sorted(ranks)
+
+    def test_artifacts_shared_not_rebuilt(self, micro_scan):
+        # Three detectors consume the history campaign; the scan holds
+        # exactly one copy of it (plus fingerprint and correlation).
+        assert set(micro_scan.artifacts) == {"fingerprint", "history",
+                                             "correlation"}
+
+    def test_every_finding_is_schema_valid(self, micro_scan):
+        from repro.scan import validate_finding
+
+        for finding in micro_scan.findings:
+            assert validate_finding(finding.as_dict()) == finding

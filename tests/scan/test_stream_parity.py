@@ -1,0 +1,96 @@
+"""Batch vs streaming parity through the fused-finding adapter.
+
+A sharded city simulation supplies one trace per cell; the batch path
+(:func:`repro.scan.adapters.profile_findings`) classifies whole feeds
+while the streaming service drains the same sources chunk by chunk —
+both fuse through :meth:`VerdictFusion.add_votes` and must emit
+findings with *identical content fingerprints* (emission order is the
+only thing allowed to differ: the service registers victims in
+event-time order).
+"""
+
+import pytest
+
+from repro.apps import app_names
+from repro.core.dataset import collect_traces, windows_from_traces
+from repro.core.fingerprint import HierarchicalFingerprinter
+from repro.lte.city import CityScenario, run_city
+from repro.scan.adapters import (FUSED_DETECTOR_ID, finding_from_fused,
+                                 profile_findings, source_spans)
+from repro.scan.findings import validate_finding
+from repro.stream.service import StreamService
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def model():
+    apps = list(app_names())[:4]
+    train = collect_traces(apps, traces_per_app=2, duration_s=10.0,
+                           seed=21)
+    fingerprinter = HierarchicalFingerprinter(n_trees=8, seed=22)
+    fingerprinter.fit(windows_from_traces(train))
+    return fingerprinter
+
+
+@pytest.fixture(scope="module")
+def sources():
+    scenario = CityScenario(n_cells=3, ues_per_cell=2, epochs=3,
+                            epoch_s=4.0, seed=5)
+    result = run_city(scenario)
+    feeds = [(cell, trace)
+             for cell, trace in sorted(result.traces.items())
+             if len(trace)]
+    assert feeds, "city scenario produced no traffic"
+    return feeds
+
+
+class TestBatchStreamParity:
+    def test_fingerprints_identical(self, model, sources):
+        batch = profile_findings(model, sources)
+        stream = StreamService(model, sources).run().findings
+        assert batch, "batch path produced no findings"
+        assert (sorted(f.fingerprint() for f in batch)
+                == sorted(f.fingerprint() for f in stream))
+
+    def test_full_content_identical(self, model, sources):
+        batch = profile_findings(model, sources)
+        stream = StreamService(model, sources).run().findings
+
+        def canon(findings):
+            return sorted((f.as_dict() for f in findings),
+                          key=lambda d: d["fingerprint"])
+
+        assert canon(batch) == canon(stream)
+
+    def test_findings_are_schema_valid(self, model, sources):
+        for finding in profile_findings(model, sources):
+            rebuilt = validate_finding(finding.as_dict())
+            assert rebuilt == finding
+            assert finding.detector == FUSED_DETECTOR_ID
+
+    def test_evidence_covers_contributing_cells(self, model, sources):
+        spans = source_spans(sources)
+        report = StreamService(model, sources).run()
+        for fused, finding in zip(report.fused, report.findings):
+            assert finding == finding_from_fused(fused, spans=spans)
+            cells_with_span = [cell for cell in fused.cells
+                               if cell in spans]
+            assert len(finding.evidence) == len(cells_with_span)
+            for window in finding.evidence:
+                start, end = spans[window.cell]
+                assert (window.start_s, window.end_s) == (start, end)
+
+    def test_jsonl_carries_findings(self, model, sources, tmp_path):
+        import json
+
+        out = tmp_path / "verdicts.jsonl"
+        report = StreamService(model, sources, out_path=out).run()
+        lines = [json.loads(line)
+                 for line in out.read_text().splitlines()]
+        finding_lines = [line for line in lines
+                         if line["type"] == "finding"]
+        assert len(finding_lines) == len(report.findings)
+        for payload in finding_lines:
+            payload.pop("type")
+            validate_finding(payload)
